@@ -1,0 +1,147 @@
+"""Figure 5: end-to-end lowering of the accumulator from Behavioural to
+Structural LLHD, printing the IR after every stage the figure shows and
+asserting its structural properties (TR counts, drive conditions, phi→mux,
+reg inference, the final flattened @acc entity).
+
+Run: ``pytest benchmarks/bench_fig5_lowering.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.analysis import TemporalRegions
+from repro.ir import STRUCTURAL, parse_module, print_module, verify_module
+from repro.passes import (
+    cleanup, deseq, ecm, forward_signals, inline_entity_insts,
+    lower_to_structural, process_lowering, simplify_reg_feedback, tcfe, tcm,
+)
+
+BEHAVIOURAL = """
+proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+init:
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %posedge = and i1 %chg, %clk1
+  br %posedge, %init, %event
+event:
+  %dp = prb i32$ %d
+  %delay = const time 1ns
+  drv i32$ %q, %dp after %delay
+  br %init
+}
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 2ns
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+final:
+  wait %entry for %q, %x, %en
+}
+entity @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+  %zero = const i32 0
+  %d = sig i32 %zero
+  %qi = sig i32 %zero
+  inst @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %qi)
+  inst @acc_comb (i32$ %qi, i32$ %x, i1$ %en) -> (i32$ %d)
+  %qip = prb i32$ %qi
+  %t0 = const time 0s
+  drv i32$ %q, %qip after %t0
+}
+"""
+
+
+def _full_lowering():
+    module = parse_module(BEHAVIOURAL)
+    lower_to_structural(module)
+    acc = module.get("acc")
+    inline_entity_insts(module, acc)
+    module.remove("acc_ff")
+    module.remove("acc_comb")
+    cleanup(acc)
+    forward_signals(acc)
+    cleanup(acc)
+    simplify_reg_feedback(acc)
+    cleanup(acc)
+    return module
+
+
+def test_lowering_benchmark(benchmark):
+    module = benchmark(_full_lowering)
+    verify_module(module, level=STRUCTURAL)
+
+
+def test_print_figure5_stages(capsys):
+    module = parse_module(BEHAVIOURAL)
+    stages = []
+
+    comb = module.get("acc_comb")
+    ff = module.get("acc_ff")
+    stages.append(("input (Behavioural LLHD)", print_module(module)))
+
+    for unit in (comb, ff):
+        ecm.run(unit)
+        cleanup(unit)
+    assert TemporalRegions(comb).count == 1   # Figure 5a
+    assert TemporalRegions(ff).count == 2     # Figure 5b
+    stages.append(("after CF/DCE/CSE/IS/ECM (Fig. 5 a,b)",
+                   print_module(module)))
+
+    for unit in (comb, ff):
+        tcm.run(unit)
+        cleanup(unit)
+    drv_ff = next(i for i in ff.instructions() if i.opcode == "drv")
+    assert drv_ff.drv_condition() is not None          # Figure 5d
+    drvs_comb = [i for i in comb.instructions() if i.opcode == "drv"]
+    assert len(drvs_comb) == 1                         # coalesced (5f/g)
+    assert drvs_comb[0].drv_value().opcode == "mux"    # Figure 5g
+    stages.append(("after TCM (Fig. 5 c-g)", print_module(module)))
+
+    for unit in (comb, ff):
+        tcfe.run(unit)
+        cleanup(unit)
+    assert len(comb.blocks) == 1
+    assert len(ff.blocks) == 2
+    stages.append(("after TCFE", print_module(module)))
+
+    assert process_lowering.can_lower(comb)
+    process_lowering.lower_process(module, comb)       # Figure 5h
+    assert deseq.desequentialize(module, ff) is not None  # Figure 5k
+    stages.append(("after PL + Deseq (Fig. 5 h,k)", print_module(module)))
+
+    acc = module.get("acc")
+    inline_entity_insts(module, acc)
+    module.remove("acc_ff")
+    module.remove("acc_comb")
+    cleanup(acc)
+    forward_signals(acc)
+    cleanup(acc)
+    simplify_reg_feedback(acc)
+    cleanup(acc)
+    verify_module(module, level=STRUCTURAL)
+    final_text = print_module(module)
+    stages.append(("after Inline/IS — final Structural LLHD (Fig. 5 m)",
+                   final_text))
+
+    # The paper's final form: a single reg storing the gated sum.
+    regs = [i for i in acc.body if i.opcode == "reg"]
+    assert len(regs) == 1
+    trigger = next(regs[0].reg_triggers())
+    assert trigger["mode"] == "rise"
+    assert trigger["value"].opcode == "add"
+    assert trigger["cond"] is not None
+
+    with capsys.disabled():
+        print()
+        print("Figure 5 — lowering stages of the accumulator")
+        for title, text in stages:
+            print(f"\n=== {title} ===")
+            print(text)

@@ -1,0 +1,80 @@
+"""Table 4: size efficiency of the representations.
+
+Paper columns per design: SystemVerilog source (kB), LLHD text (kB),
+bitcode (kB, estimated in the paper — *measured* here, since this
+reproduction implements the bitcode for real), and in-memory size (kB).
+
+Reproduced shape claims:
+
+* unoptimized LLHD text is several times larger than the SV source;
+* bitcode shrinks the text severalfold, back to the order of the source;
+* in-memory size is roughly an order of magnitude above the text;
+* all sizes scale with design complexity (RISC-V core largest).
+
+Run: ``pytest benchmarks/bench_table4_size.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.designs import DESIGNS, TABLE2_ORDER, compile_design
+from repro.ir import print_module
+from repro.ir.bitcode import read_module, write_module
+from repro.ir.memsize import module_size
+
+from .common import format_row
+
+# Size measurement uses fixed small testbench cycle budgets; the design
+# code itself (what Table 4 measures) is cycle-independent.
+_CYCLES = 16
+
+
+def _sizes(name):
+    design = DESIGNS[name]
+    sv = len(design.source(_CYCLES).encode())
+    module = compile_design(name, cycles=_CYCLES)
+    text = len(print_module(module).encode())
+    bitcode = len(write_module(module))
+    in_mem = module_size(module)
+    return sv, text, bitcode, in_mem
+
+
+@pytest.mark.parametrize("name", TABLE2_ORDER)
+def test_size_measurement(benchmark, name):
+    sv, text, bitcode, in_mem = benchmark(_sizes, name)
+    benchmark.extra_info.update(
+        design=name, sv_bytes=sv, text_bytes=text,
+        bitcode_bytes=bitcode, in_memory_bytes=in_mem)
+    # Shape assertions from the paper's discussion (section 6.3):
+    assert text > sv, "LLHD text should exceed the SV source"
+    assert bitcode < text / 2, "bitcode should be far smaller than text"
+    assert in_mem > text, "in-memory exceeds the text size"
+
+
+def test_bitcode_roundtrip_all_designs():
+    for name in TABLE2_ORDER:
+        module = compile_design(name, cycles=_CYCLES)
+        restored = read_module(write_module(module))
+        assert print_module(restored) == print_module(module), name
+
+
+def test_print_table4(capsys):
+    rows = []
+    for name in TABLE2_ORDER:
+        sv, text, bitcode, in_mem = _sizes(name)
+        rows.append((
+            DESIGNS[name].paper_name,
+            f"{sv/1024:.1f}",
+            f"{text/1024:.1f}",
+            f"{bitcode/1024:.1f}",
+            f"{in_mem/1024:.1f}",
+        ))
+    with capsys.disabled():
+        print()
+        print("Table 4 — Size efficiency [kB] "
+              "(bitcode measured, not estimated)")
+        header = ("Design", "SV", "Text", "Bitcode", "In-Mem.")
+        widths = [16, 7, 7, 8, 9]
+        print(format_row(header, widths))
+        print("-" * (sum(widths) + 2 * len(widths)))
+        for row in rows:
+            print(format_row(row, widths))

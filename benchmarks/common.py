@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 2 for the index).  Absolute numbers are
+Python-scale; the *shape* (who wins, by what factor) is what reproduces
+the paper — EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.designs import DESIGNS, TABLE2_ORDER, compile_design
+from repro.sim import simulate
+
+# Cycle budgets per design for benchmarking: sized so the reference
+# interpreter finishes a run in roughly a second.
+BENCH_CYCLES = {
+    "gray": 60, "fir": 40, "lfsr": 60, "lzc": 30, "fifo": 60,
+    "cdc_gray": 40, "cdc_strobe": 15, "rr_arbiter": 50,
+    "stream_delayer": 60, "riscv": 200,
+}
+
+
+def timed_simulation(name, backend, cycles=None):
+    """Compile (untimed) then simulate (timed); returns (seconds, result)."""
+    cycles = cycles if cycles is not None else BENCH_CYCLES[name]
+    module = compile_design(name, cycles=cycles)
+    top = DESIGNS[name].top
+    start = time.perf_counter()
+    result = simulate(module, top, backend=backend)
+    elapsed = time.perf_counter() - start
+    assert result.assertion_failures == [], \
+        f"{name}/{backend}: design self-checks failed"
+    return elapsed, result
+
+
+def extrapolate(seconds, cycles, target_cycles):
+    """Scale a measured runtime to the paper's cycle count."""
+    return seconds * (target_cycles / max(cycles, 1))
+
+
+def format_row(columns, widths):
+    return "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))

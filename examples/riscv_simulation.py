@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Simulate the RISC-V core design on all three simulators.
+
+Compiles the RV32I-subset core plus its self-checking testbench (an
+iterative Fibonacci program assembled by the bundled RV32I assembler),
+runs it under the reference interpreter, the compiled Blaze-style
+simulator, and the independent cycle simulator, verifies that all traces
+match, and reports the relative performance — a miniature of the paper's
+Table 2 experiment.
+
+Run: ``python examples/riscv_simulation.py``
+"""
+
+import time
+
+from repro.designs import DESIGNS, compile_design
+from repro.designs.riscv import expected_results, program_words
+from repro.designs.riscv_asm import disassemble_word
+from repro.sim import simulate
+
+CYCLES = 200
+
+
+def main():
+    words = program_words(n=10)
+    print(f"=== program ({len(words)} instructions) ===")
+    for i, word in enumerate(words[:12]):
+        print(f"  {i * 4:3d}: {word:08x}  {disassemble_word(word)}")
+    print("  ...")
+
+    module = compile_design("riscv", cycles=CYCLES)
+    top = DESIGNS["riscv"].top
+
+    results = {}
+    timings = {}
+    for backend in ("interp", "blaze", "cycle"):
+        start = time.perf_counter()
+        results[backend] = simulate(module, top, backend=backend)
+        timings[backend] = time.perf_counter() - start
+        assert results[backend].assertion_failures == []
+
+    print("\n=== trace agreement ===")
+    base = results["interp"].trace
+    for other in ("blaze", "cycle"):
+        diffs = base.differences(results[other].trace)
+        print(f"  interp vs {other}: "
+              f"{'identical' if not diffs else diffs[:3]}")
+        assert not diffs
+
+    print("\n=== data memory results (asserted by the testbench) ===")
+    expected = expected_results(10)
+    labels = ["fib(10)", "10", "10<<2", "10^40", "10<40", "checksum"]
+    for i, (label, value) in enumerate(zip(labels, expected)):
+        print(f"  dmem[{i}] = {value:5d}   ({label})")
+
+    print("\n=== simulator timing (this machine, "
+          f"{CYCLES} clock cycles) ===")
+    for backend, label in (("interp", "LLHD-Sim (interpreter)"),
+                           ("blaze", "Blaze-style (compiled)"),
+                           ("cycle", "cycle (independent)")):
+        t = timings[backend]
+        print(f"  {label:26s} {t * 1000:8.1f} ms  "
+              f"({timings['interp'] / t:4.1f}x vs interpreter)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — a pure-Python reproduction of LLHD (PLDI 2020).
+
+LLHD is a multi-level intermediate representation for hardware description
+languages: one SSA-based IR that carries a digital design from behavioural
+simulation and verification, through lowering, to a structural form ready
+for synthesis, down to the final netlist.
+
+Top-level surface:
+
+* :mod:`repro.ir` — the IR itself (types, units, builder, parser, printer,
+  verifier, bitcode, linker).
+* :mod:`repro.analysis` — CFG, dominators, temporal regions.
+* :mod:`repro.passes` — the behavioural→structural lowering pipeline.
+* :mod:`repro.sim` — the reference interpreter (LLHD-Sim), the compiled
+  simulator (LLHD-Blaze analogue), and an independent cycle simulator.
+* :mod:`repro.moore` — a SystemVerilog-subset frontend in the spirit of
+  the paper's Moore compiler.
+* :mod:`repro.designs` — the evaluation design suite of Table 2.
+"""
+
+__version__ = "1.0.0"
+
+from . import ir
+
+__all__ = ["ir", "__version__"]

@@ -1,0 +1,13 @@
+"""Analyses over LLHD IR: CFG orders, dominators, temporal regions."""
+
+from .cfg import (
+    postorder, reachable_blocks, rebuild_phi, remove_unreachable_blocks,
+    reverse_postorder,
+)
+from .dominators import DominatorTree
+from .temporal import TemporalRegions
+
+__all__ = [
+    "DominatorTree", "TemporalRegions", "postorder", "reachable_blocks",
+    "rebuild_phi", "remove_unreachable_blocks", "reverse_postorder",
+]

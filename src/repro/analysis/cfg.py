@@ -1,0 +1,111 @@
+"""Control-flow-graph utilities for control-flow units.
+
+Blocks know their successors (from the terminator) and predecessors (from
+the use lists), so this module only adds order computations and reachability
+— the building blocks for dominators, DCE of unreachable code, and the
+lowering passes.
+"""
+
+from __future__ import annotations
+
+
+def successors(block):
+    return block.successors()
+
+
+def predecessors(block):
+    return block.predecessors()
+
+
+def reachable_blocks(unit):
+    """The set of blocks reachable from the entry, as ``id -> block``."""
+    entry = unit.entry
+    if entry is None:
+        return {}
+    seen = {id(entry): entry}
+    stack = [entry]
+    while stack:
+        block = stack.pop()
+        for succ in block.successors():
+            if id(succ) not in seen:
+                seen[id(succ)] = succ
+                stack.append(succ)
+    return seen
+
+
+def reverse_postorder(unit):
+    """Blocks in reverse postorder (defs-before-uses friendly order)."""
+    entry = unit.entry
+    if entry is None:
+        return []
+    order = []
+    visited = set()
+
+    def visit(block):
+        visited.add(id(block))
+        for succ in block.successors():
+            if id(succ) not in visited:
+                visit(succ)
+        order.append(block)
+
+    visit(entry)
+    order.reverse()
+    return order
+
+
+def postorder(unit):
+    order = reverse_postorder(unit)
+    order.reverse()
+    return order
+
+
+def remove_unreachable_blocks(unit):
+    """Delete blocks not reachable from entry; returns number removed.
+
+    Phi nodes in surviving blocks lose their incoming entries from removed
+    predecessors.
+    """
+    reachable = reachable_blocks(unit)
+    dead = [b for b in unit.blocks if id(b) not in reachable]
+    if not dead:
+        return 0
+    dead_ids = {id(b) for b in dead}
+    for block in unit.blocks:
+        if id(block) in dead_ids:
+            continue
+        for phi in block.phis():
+            prune_phi_incoming(phi, dead_ids)
+    # Two passes: first drop all operands (breaking cycles among dead code),
+    # then unlink.  In valid SSA no live code uses values from unreachable
+    # blocks once the phi entries above are pruned.
+    for block in dead:
+        for inst in list(block.instructions):
+            inst.drop_operands()
+    for block in dead:
+        for inst in list(block.instructions):
+            block.remove(inst)
+        unit.remove_block(block)
+    return len(dead)
+
+
+def prune_phi_incoming(phi, dead_block_ids):
+    """Remove phi incoming pairs whose predecessor is in the given set."""
+    pairs = [(v, b) for v, b in phi.phi_pairs() if id(b) not in dead_block_ids]
+    rebuild_phi(phi, pairs)
+
+
+def rebuild_phi(phi, pairs):
+    """Replace a phi's operand list with new ``(value, block)`` pairs.
+
+    If only one incoming pair remains, the phi is folded into that value.
+    """
+    phi.drop_operands()
+    if len(pairs) == 1:
+        phi.replace_all_uses_with(pairs[0][0])
+        if phi.parent is not None:
+            phi.parent.remove(phi)
+        return None
+    for value, block in pairs:
+        phi.add_operand(value)
+        phi.add_operand(block)
+    return phi

@@ -1,0 +1,12 @@
+"""Toolflow integration (section 5): Verilog export, IR comparison data,
+and a demonstration technology mapper to Netlist LLHD."""
+
+from .comparison import COLUMNS, OTHER_IRS, full_table, llhd_row, render_table
+from .techmap import TechmapError, technology_map
+from .verilog import VerilogExportError, export_verilog
+
+__all__ = [
+    "COLUMNS", "OTHER_IRS", "TechmapError", "VerilogExportError",
+    "export_verilog", "full_table", "llhd_row", "render_table",
+    "technology_map",
+]

@@ -1,0 +1,126 @@
+"""Table 3: comparison of hardware-targeted IRs.
+
+The other IRs' rows are literature data transcribed from the paper; the
+LLHD row is **introspected from this implementation** — each feature
+probe checks that the corresponding capability actually exists in this
+repository (so the row stays honest if the code changes).
+"""
+
+from __future__ import annotations
+
+COLUMNS = [
+    "No. of Levels",
+    "Turing-Complete",
+    "Verification",
+    "9-Valued Logic",
+    "4-Valued Logic",
+    "Behavioral",
+    "Structural",
+    "Netlist",
+]
+
+# Literature rows (verbatim from Table 3 of the paper).
+OTHER_IRS = {
+    "FIRRTL": ["3†", False, False, False, False, False, True, True],
+    "CoreIR": ["1", False, True, False, False, False, True, False],
+    "µIR": ["1", False, False, False, False, False, True, False],
+    "RTLIL": ["1", False, False, False, True, True, True, False],
+    "LNAST": ["1", False, False, False, False, True, False, False],
+    "LGraph": ["1", False, False, False, False, False, True, True],
+    "netlistDB": ["1", False, False, False, False, False, True, True],
+}
+
+
+def _probe_levels():
+    from ..ir.dialects import LEVELS
+
+    return str(len(LEVELS))
+
+
+def _probe_turing_complete():
+    # Turing completeness requires unbounded memory + control flow: the
+    # IR must provide heap allocation and loops (section 2.5.8).
+    from ..ir.instructions import ALL_OPCODES
+
+    return {"alloc", "free", "ld", "st", "br", "call"} <= ALL_OPCODES
+
+
+def _probe_verification():
+    from ..ir.verifier import INTRINSICS
+
+    return "llhd.assert" in INTRINSICS
+
+
+def _probe_nine_valued():
+    from ..ir.ninevalued import VALUES
+
+    return len(VALUES) == 9
+
+
+def _probe_four_valued():
+    # The 9-valued IEEE 1164 system subsumes IEEE 1364's {0,1,X,Z}.
+    from ..ir.ninevalued import VALUES
+
+    return all(v in VALUES for v in "01XZ")
+
+
+def _probe_behavioural():
+    from ..ir.units import Process
+
+    return Process is not None
+
+
+def _probe_structural():
+    from ..ir.dialects import STRUCTURAL, allowed_opcodes
+
+    return "reg" in allowed_opcodes(STRUCTURAL)
+
+
+def _probe_netlist():
+    from ..ir.dialects import NETLIST, allowed_opcodes
+
+    return allowed_opcodes(NETLIST) == frozenset(
+        {"sig", "con", "del", "inst", "const"})
+
+
+def llhd_row():
+    """The LLHD feature row, computed from this implementation."""
+    return [
+        _probe_levels(),
+        _probe_turing_complete(),
+        _probe_verification(),
+        _probe_nine_valued(),
+        _probe_four_valued(),
+        _probe_behavioural(),
+        _probe_structural(),
+        _probe_netlist(),
+    ]
+
+
+def full_table():
+    """All rows: LLHD (introspected) first, then the literature rows."""
+    table = {"LLHD [us]": llhd_row()}
+    table.update(OTHER_IRS)
+    return table
+
+
+def render_table():
+    """Render Table 3 as aligned text (✓ / – cells, as in the paper)."""
+    table = full_table()
+    name_width = max(len(n) for n in table) + 2
+    col_widths = [max(len(c), 6) for c in COLUMNS]
+    lines = []
+    header = "IR".ljust(name_width) + "  ".join(
+        c.ljust(w) for c, w in zip(COLUMNS, col_widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in table.items():
+        cells = []
+        for value, width in zip(row, col_widths):
+            if isinstance(value, bool):
+                cells.append(("✓" if value else "–").ljust(width))
+            else:
+                cells.append(str(value).ljust(width))
+        lines.append(name.ljust(name_width) + "  ".join(cells))
+    lines.append("† Mentioned conceptually but not defined precisely")
+    return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""A small demonstration technology mapper: Structural → Netlist LLHD.
+
+The paper leaves synthesis to external tools ("due to its complexity,
+synthesis is expected to remain the domain of tools outside the LLHD
+project"), but defines the Netlist level: entities plus ``sig``/``con``/
+``del``/``inst``.  This mapper demonstrates the level transition on the
+subset it understands: it maps each data-flow operator of an entity onto
+an instance of a gate-library cell (itself an entity), producing a valid
+Netlist-LLHD module.  It exists to exercise the Netlist dialect and the
+level verifier, not to be a logic synthesizer.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import Builder
+from ..ir.dialects import NETLIST, STRUCTURAL, level_violations
+from ..ir.types import int_type, signal_type
+from ..ir.units import Entity, Module
+from ..ir.values import TimeValue
+
+
+class TechmapError(Exception):
+    """Raised when a construct has no gate-library mapping."""
+
+
+# Operators realizable as generic library cells (one cell per op/width).
+_MAPPABLE = {"add", "sub", "and", "or", "xor", "not", "eq", "neq", "mux"}
+
+
+def technology_map(module, gate_delay="100ps"):
+    """Map a Structural LLHD module into Netlist LLHD.
+
+    Returns ``(netlist, library)``: the netlist module (cells appear as
+    *declarations* — black boxes, as in a real flow where cell behaviour
+    comes from a liberty file) and a separate library module holding
+    behavioural cell models.  Linking the two (``link_modules``) yields a
+    simulatable design.
+    """
+    issues = level_violations(module, STRUCTURAL)
+    if issues:
+        raise TechmapError("input is not Structural LLHD")
+    out = Module(module.name + "_netlist")
+    library_module = Module(module.name + "_cells")
+    library = {"__module__": library_module, "__out__": out}
+    for unit in module:
+        _map_entity(unit, out, library, TimeValue.parse(gate_delay))
+    remaining = level_violations(out, NETLIST)
+    if remaining:
+        raise TechmapError(
+            "techmap produced invalid netlist:\n  " + "\n  ".join(remaining))
+    return out, library_module
+
+
+def _cell(out, library, opcode, width, delay):
+    """Get or create the library cell for an operator/width."""
+    from ..ir.units import UnitDecl
+
+    key = (opcode, width)
+    name = library.get(key)
+    if name is not None:
+        return name
+    name = f"cell_{opcode}_{width}"
+    library[key] = name
+    ty = signal_type(int_type(width))
+    bit = signal_type(int_type(1))
+    if opcode == "not":
+        cell = Entity(name, [ty], ["a"], [ty], ["y"])
+    elif opcode in ("eq", "neq"):
+        cell = Entity(name, [ty, ty], ["a", "b"], [bit], ["y"])
+    elif opcode == "mux":
+        cell = Entity(name, [ty, ty, bit], ["a", "b", "s"], [ty], ["y"])
+    else:
+        cell = Entity(name, [ty, ty], ["a", "b"], [ty], ["y"])
+    b = Builder.at_end(cell.body)
+    ins = [b.prb(a) for a in cell.inputs]
+    d = b.const_time(delay)
+    if opcode == "not":
+        result = b.not_(ins[0])
+    elif opcode == "mux":
+        arr = b.array([ins[0], ins[1]])
+        result = b.mux(arr, ins[2])
+    elif opcode in ("eq", "neq"):
+        result = b.compare(opcode, ins[0], ins[1])
+    else:
+        result = b.binary(opcode, ins[0], ins[1])
+    b.drv(cell.outputs[0], result, d)
+    library["__module__"].add(cell)
+    out.declare(UnitDecl(
+        name, "entity",
+        [a.type for a in cell.inputs], [a.type for a in cell.outputs]))
+    return name
+
+
+def _map_entity(entity, out, library, delay):
+    mapped = Entity(
+        entity.name,
+        [a.type for a in entity.inputs], [a.name for a in entity.inputs],
+        [a.type for a in entity.outputs], [a.name for a in entity.outputs])
+    builder = Builder.at_end(mapped.body)
+    signal_of = {}  # id(old value) -> signal in the netlist
+    for old, new in zip(entity.args, mapped.args):
+        signal_of[id(old)] = new
+
+    consts = {}
+
+    def as_signal(value):
+        """The netlist signal carrying ``value``."""
+        sig = signal_of.get(id(value))
+        if sig is None:
+            raise TechmapError(
+                f"@{entity.name}: no netlist signal for "
+                f"%{value.name or '?'} ({value.opcode})")
+        return sig
+
+    for inst in entity.body:
+        op = inst.opcode
+        if op == "const":
+            consts[id(inst)] = inst
+        elif op == "sig":
+            init = inst.operands[0]
+            const = consts.get(id(init))
+            if const is None:
+                raise TechmapError("sig init must be constant")
+            c = builder.insert(_clone_const(const))
+            signal_of[id(inst)] = builder.sig(c, name=inst.name)
+        elif op == "prb":
+            signal_of[id(inst)] = as_signal(inst.operands[0])
+        elif op == "drv":
+            if inst.drv_condition() is not None:
+                raise TechmapError("conditional drives need a mux first")
+            src = signal_of.get(id(inst.drv_value()))
+            if src is None:
+                const = consts.get(id(inst.drv_value()))
+                if const is None:
+                    raise TechmapError("drive of unmapped value")
+                c = builder.insert(_clone_const(const))
+                src = builder.sig(c)
+            builder.con(as_signal(inst.drv_signal()), src)
+        elif op in _MAPPABLE:
+            signal_of[id(inst)] = _map_op(
+                builder, out, library, inst, signal_of, consts, delay,
+                entity)
+        elif op == "inst":
+            inputs = [as_signal(o) for o in inst.inst_inputs()]
+            outputs = [as_signal(o) for o in inst.inst_outputs()]
+            builder.inst(inst.callee, inputs, outputs)
+        elif op == "array":
+            continue  # handled at the mux use
+        else:
+            raise TechmapError(
+                f"@{entity.name}: no library mapping for '{op}'")
+    out.add(mapped)
+
+
+def _clone_const(const):
+    from ..ir.instructions import Instruction
+
+    return Instruction("const", const.type, (), dict(const.attrs),
+                       const.name)
+
+
+def _materialize(builder, value, signal_of, consts, entity):
+    sig = signal_of.get(id(value))
+    if sig is not None:
+        return sig
+    const = consts.get(id(value))
+    if const is not None:
+        c = builder.insert(_clone_const(const))
+        return builder.sig(c)
+    raise TechmapError(
+        f"@{entity.name}: no netlist signal for %{value.name or '?'}")
+
+
+def _map_op(builder, out, library, inst, signal_of, consts, delay, entity):
+    width = inst.operands[0].type.width \
+        if inst.operands[0].type.is_int else 1
+    if inst.opcode == "mux":
+        arr = inst.operands[0]
+        if arr.opcode != "array" or arr.attrs.get("splat") \
+                or len(arr.operands) != 2:
+            raise TechmapError("only 2-way muxes map to the library")
+        a = _materialize(builder, arr.operands[0], signal_of, consts,
+                         entity)
+        b_sig = _materialize(builder, arr.operands[1], signal_of, consts,
+                             entity)
+        sel = _materialize(builder, inst.operands[1], signal_of, consts,
+                           entity)
+        width = arr.operands[0].type.width
+        cell = _cell(out, library, "mux", width, delay)
+        result_ty = signal_type(arr.operands[0].type)
+        operands_in = [a, b_sig, sel]
+    elif inst.opcode == "not":
+        a = _materialize(builder, inst.operands[0], signal_of, consts,
+                         entity)
+        cell = _cell(out, library, "not", width, delay)
+        result_ty = a.type
+        operands_in = [a]
+    else:
+        a = _materialize(builder, inst.operands[0], signal_of, consts,
+                         entity)
+        b_sig = _materialize(builder, inst.operands[1], signal_of, consts,
+                             entity)
+        cell = _cell(out, library, inst.opcode, width, delay)
+        result_ty = signal_type(inst.type)
+        operands_in = [a, b_sig]
+    zero = builder.const_int(result_ty.element, 0)
+    result = builder.sig(zero, name=inst.name)
+    builder.inst(cell, operands_in, [result])
+    return result

@@ -1,0 +1,219 @@
+"""Structural Verilog export (section 5: toolflow integration).
+
+"Where this is not possible, the description may be mapped to a simple,
+structural Verilog equivalent to be ingested by the tool."  This module
+emits Structural-LLHD entities as plain synthesizable Verilog-2001:
+continuous assigns for data flow, ``always @(posedge …)`` blocks for
+``reg`` storage, and module instantiations for hierarchy.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..ir.dialects import STRUCTURAL, level_violations
+
+
+class VerilogExportError(Exception):
+    """Raised when a module is not at the structural level."""
+
+
+_BINARY_OPS = {
+    "add": "+", "sub": "-", "mul": "*", "udiv": "/", "umod": "%",
+    "and": "&", "or": "|", "xor": "^", "shl": "<<", "shr": ">>",
+    "eq": "==", "neq": "!=", "ult": "<", "ugt": ">", "ule": "<=",
+    "uge": ">=",
+}
+_SIGNED_OPS = {
+    "sdiv": "/", "smod": "%", "slt": "<", "sgt": ">", "sle": "<=",
+    "sge": ">=",
+}
+
+
+def export_verilog(module):
+    """Render a Structural LLHD module as structural Verilog text."""
+    issues = level_violations(module, STRUCTURAL)
+    if issues:
+        raise VerilogExportError(
+            "module is not Structural LLHD:\n  " + "\n  ".join(issues))
+    out = io.StringIO()
+    out.write("// Structural Verilog exported from LLHD\n")
+    for unit in module:
+        _export_entity(out, unit, module)
+    return out.getvalue()
+
+
+class _Names:
+    def __init__(self):
+        self.map = {}
+        self.taken = set()
+        self.counter = 0
+
+    def of(self, value):
+        name = self.map.get(id(value))
+        if name is None:
+            base = value.name or f"v{self.counter}"
+            self.counter += 1
+            name = base
+            i = 0
+            while name in self.taken:
+                i += 1
+                name = f"{base}_{i}"
+            self.taken.add(name)
+            self.map[id(value)] = name
+        return name
+
+
+def _width(ty):
+    if ty.is_signal:
+        ty = ty.element
+    if ty.is_int or ty.is_logic:
+        return ty.width
+    if ty.is_enum:
+        return max(1, (ty.states - 1).bit_length())
+    raise VerilogExportError(f"cannot export type {ty} to Verilog")
+
+
+def _range(ty):
+    width = _width(ty)
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+def _export_entity(out, entity, module):
+    names = _Names()
+    ports = []
+    for arg in entity.inputs:
+        ports.append(f"input {_range(arg.type)}{names.of(arg)}")
+    for arg in entity.outputs:
+        ports.append(f"output {_range(arg.type)}{names.of(arg)}")
+    out.write(f"module {entity.name} (\n  " + ",\n  ".join(ports)
+              + "\n);\n")
+    body = io.StringIO()
+    exprs = {}  # id(value) -> verilog expression text
+
+    def expr_of(value):
+        text = exprs.get(id(value))
+        if text is None:
+            # Fall back to the wire name (args, signals).
+            text = names.of(value)
+        return text
+
+    inst_count = 0
+    for inst in entity.body:
+        op = inst.opcode
+        if op == "const":
+            value = inst.attrs["value"]
+            if inst.type.is_time:
+                exprs[id(inst)] = str(value)
+                continue
+            exprs[id(inst)] = f"{_width(inst.type)}'d{value}"
+        elif op == "sig":
+            body.write(f"  wire {_range(inst.type)}{names.of(inst)};\n")
+            # Initial values are a simulation concept; synthesis tools
+            # take them from reset logic. Skip.
+        elif op == "prb":
+            exprs[id(inst)] = expr_of(inst.operands[0])
+        elif op in _BINARY_OPS:
+            a, b = inst.operands
+            exprs[id(inst)] = (f"({expr_of(a)} {_BINARY_OPS[op]} "
+                               f"{expr_of(b)})")
+        elif op in _SIGNED_OPS:
+            a, b = inst.operands
+            exprs[id(inst)] = (f"($signed({expr_of(a)}) {_SIGNED_OPS[op]} "
+                               f"$signed({expr_of(b)}))")
+        elif op == "not":
+            exprs[id(inst)] = f"(~{expr_of(inst.operands[0])})"
+        elif op == "neg":
+            exprs[id(inst)] = f"(-{expr_of(inst.operands[0])})"
+        elif op in ("zext", "trunc"):
+            w = _width(inst.type)
+            exprs[id(inst)] = f"({w}'d0 | {expr_of(inst.operands[0])})" \
+                if op == "zext" else \
+                f"{expr_of(inst.operands[0])}[{w - 1}:0]"
+        elif op == "sext":
+            w = _width(inst.type)
+            src = expr_of(inst.operands[0])
+            exprs[id(inst)] = (f"{{{{{w - _width(inst.operands[0].type)}"
+                               f"{{{src}[{_width(inst.operands[0].type) - 1}]"
+                               f"}}}}, {src}}}")
+        elif op == "exts":
+            offset = inst.attrs["offset"]
+            length = inst.attrs["length"]
+            base = expr_of(inst.operands[0])
+            if inst.operands[0].type.is_signal:
+                exprs[id(inst)] = f"{base}[{offset + length - 1}:{offset}]"
+            else:
+                exprs[id(inst)] = f"{base}[{offset + length - 1}:{offset}]"
+        elif op == "extf":
+            index = inst.attrs.get("index")
+            base = expr_of(inst.operands[0])
+            if index is None:
+                index = expr_of(inst.operands[1])
+            exprs[id(inst)] = f"{base}[{index}]"
+        elif op == "mux":
+            arr = inst.operands[0]
+            sel = expr_of(inst.operands[1])
+            if arr.opcode == "array" and not arr.attrs.get("splat") \
+                    and len(arr.operands) == 2:
+                a, b = arr.operands
+                exprs[id(inst)] = (f"({sel} ? {expr_of(b)} : "
+                                   f"{expr_of(a)})")
+            else:
+                exprs[id(inst)] = f"{expr_of(arr)}[{sel}]"
+        elif op == "array":
+            exprs[id(inst)] = "'{" + ", ".join(
+                expr_of(o) for o in inst.operands) + "}"
+        elif op == "drv":
+            target = expr_of(inst.drv_signal())
+            value = expr_of(inst.drv_value())
+            cond = inst.drv_condition()
+            if cond is not None:
+                value = f"({expr_of(cond)} ? {value} : {target})"
+            body.write(f"  assign {target} = {value};\n")
+        elif op == "reg":
+            _export_reg(body, inst, expr_of)
+        elif op == "inst":
+            inst_count += 1
+            callee = module.get(inst.callee)
+            conns = []
+            for arg, operand in zip(callee.args, inst.inst_inputs()
+                                    + inst.inst_outputs()):
+                conns.append(f".{arg.name}({expr_of(operand)})")
+            body.write(f"  {inst.callee} i{inst_count} ("
+                       + ", ".join(conns) + ");\n")
+        elif op == "con":
+            a, b = inst.operands
+            body.write(f"  tran({expr_of(a)}, {expr_of(b)});\n")
+        elif op == "del":
+            body.write(f"  wire {_range(inst.type)}{names.of(inst)};\n")
+            body.write(f"  assign {names.of(inst)} = "
+                       f"{expr_of(inst.operands[0])};\n")
+        else:
+            raise VerilogExportError(
+                f"@{entity.name}: cannot export '{op}'")
+    out.write(body.getvalue())
+    out.write("endmodule\n\n")
+
+
+def _export_reg(body, inst, expr_of):
+    signal = expr_of(inst.reg_signal())
+    body.write(f"  reg {_range(inst.reg_signal().type)}{signal}_q;\n")
+    body.write(f"  assign {signal} = {signal}_q;\n")
+    for t in inst.reg_triggers():
+        trigger = expr_of(t["trigger"])
+        value = expr_of(t["value"])
+        mode = t["mode"]
+        if mode in ("rise", "fall"):
+            edge = "posedge" if mode == "rise" else "negedge"
+            body.write(f"  always @({edge} {trigger})")
+        elif mode == "both":
+            body.write(f"  always @({trigger})")
+        else:  # level-sensitive latch
+            level = trigger if mode == "high" else f"~{trigger}"
+            body.write(f"  always @*")
+        if mode in ("high", "low"):
+            gate = trigger if mode == "high" else f"(~{trigger})"
+            body.write(f" if ({gate})")
+        if t["cond"] is not None:
+            body.write(f" if ({expr_of(t['cond'])})")
+        body.write(f" {signal}_q <= {value};\n")

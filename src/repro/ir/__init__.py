@@ -1,0 +1,40 @@
+"""The LLHD intermediate representation: types, values, units, and tooling.
+
+Import surface::
+
+    from repro.ir import (
+        Module, Function, Process, Entity, Builder,
+        int_type, signal_type, TimeValue,
+        parse_module, print_module, verify_module,
+    )
+"""
+
+from .builder import Builder
+from .dialects import (
+    BEHAVIOURAL, NETLIST, STRUCTURAL, classify, is_at_level,
+    level_violations,
+)
+from .instructions import Instruction, RegTrigger
+from .linker import link_modules
+from .ninevalued import LogicVec
+from .parser import ParseError, parse_module, parse_type_text
+from .printer import format_instruction, print_module, print_unit
+from .types import (
+    array_type, bit_width, enum_type, int_type, logic_type, parse_type,
+    pointer_type, signal_type, struct_type, time_type, void_type,
+)
+from .units import Entity, Function, Module, Process, UnitDecl
+from .values import Argument, Block, TimeValue, Use, Value
+from .verifier import VerificationError, verify_module, verify_unit
+
+__all__ = [
+    "Argument", "BEHAVIOURAL", "Block", "Builder", "Entity", "Function",
+    "Instruction", "LogicVec", "Module", "NETLIST", "ParseError", "Process",
+    "RegTrigger", "STRUCTURAL", "TimeValue", "UnitDecl", "Use", "Value",
+    "VerificationError", "array_type", "bit_width", "classify", "enum_type",
+    "format_instruction", "int_type", "is_at_level", "level_violations",
+    "link_modules", "logic_type", "parse_module", "parse_type",
+    "parse_type_text", "pointer_type", "print_module", "print_unit",
+    "signal_type", "struct_type", "time_type", "verify_module",
+    "verify_unit", "void_type",
+]

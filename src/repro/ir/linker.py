@@ -1,0 +1,80 @@
+"""Module linker (section 2.3 of the paper).
+
+Multiple modules can be combined by a linker, which resolves references in
+one module (declarations, ``declare @foo ...``) against the definitions
+made in another.  Only global names are visible across modules; local and
+anonymous names never clash.
+"""
+
+from __future__ import annotations
+
+from .units import Module, UnitDecl, entity_signature
+
+
+class LinkError(Exception):
+    """Raised on duplicate definitions or unresolved/mismatched references."""
+
+
+def link_modules(modules, name="linked"):
+    """Link modules into a new one; definitions replace declarations.
+
+    Raises :class:`LinkError` on duplicate definitions, signature mismatches
+    between a declaration and its definition, or (with ``allow_unresolved``
+    unset) declarations that no module defines.
+    """
+    linked = Module(name)
+    # First pass: collect all definitions, rejecting duplicates.
+    for module in modules:
+        for unit in module:
+            if unit.name in linked.units:
+                raise LinkError(f"duplicate definition of @{unit.name}")
+            linked.units[unit.name] = unit
+            unit.module = linked
+    # Second pass: resolve declarations against definitions.
+    for module in modules:
+        for decl in module.declarations.values():
+            definition = linked.units.get(decl.name)
+            if definition is None:
+                existing = linked.declarations.get(decl.name)
+                if existing is not None and not _decl_compatible(existing,
+                                                                 decl):
+                    raise LinkError(
+                        f"conflicting declarations of @{decl.name}")
+                linked.declarations[decl.name] = decl
+                continue
+            _check_decl_against_definition(decl, definition)
+    return linked
+
+
+def _decl_compatible(a, b):
+    return (a.kind == b.kind
+            and a.input_types == b.input_types
+            and a.output_types == b.output_types
+            and a.return_type == b.return_type)
+
+
+def _check_decl_against_definition(decl, definition):
+    if decl.kind != definition.kind:
+        raise LinkError(
+            f"@{decl.name}: declared as {decl.kind} but defined as "
+            f"{definition.kind}")
+    if definition.is_function:
+        arg_types = tuple(a.type for a in definition.args)
+        if decl.input_types != arg_types:
+            raise LinkError(f"@{decl.name}: argument types differ")
+        if decl.return_type is not definition.return_type:
+            raise LinkError(f"@{decl.name}: return types differ")
+        return
+    in_types, out_types = entity_signature(definition)
+    if decl.input_types != tuple(in_types):
+        raise LinkError(f"@{decl.name}: input types differ")
+    if decl.output_types != tuple(out_types):
+        raise LinkError(f"@{decl.name}: output types differ")
+
+
+def resolve(module, name):
+    """Look up a unit, following a declaration to nothing if undefined."""
+    found = module.get(name)
+    if isinstance(found, UnitDecl):
+        return None
+    return found

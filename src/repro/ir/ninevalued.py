@@ -1,0 +1,226 @@
+"""IEEE 1164 nine-valued logic.
+
+The ``lN`` type models the states a physical signal wire may be in, beyond
+the fundamental 0 and 1: drive strength, drive collisions, floating gates,
+and unknown values.  The nine values are:
+
+====== =============================
+``U``  uninitialized
+``X``  forcing unknown
+``0``  forcing zero
+``1``  forcing one
+``Z``  high impedance
+``W``  weak unknown
+``L``  weak zero
+``H``  weak one
+``-``  don't care
+====== =============================
+
+This module provides the standard resolution function (used when multiple
+drivers connect to one signal, e.g. through ``con``), the logical operation
+tables, and :class:`LogicVec`, an immutable N-bit nine-valued vector.
+
+Tables are transcribed from IEEE 1164-1993 and property-tested in
+``tests/ir/test_ninevalued.py`` (commutativity, associativity, identity,
+De Morgan over the 01 subset, resolution lattice behaviour).
+"""
+
+from __future__ import annotations
+
+VALUES = "UX01ZWLH-"
+_INDEX = {c: i for i, c in enumerate(VALUES)}
+
+# Resolution table: the value observed on a wire driven by two sources.
+# Rows/columns in the order of VALUES. IEEE 1164 std_logic resolution.
+RESOLVE_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "U", "U", "U", "U", "U", "U", "U"],  # U
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # X
+    ["U", "X", "0", "X", "0", "0", "0", "0", "X"],  # 0
+    ["U", "X", "X", "1", "1", "1", "1", "1", "X"],  # 1
+    ["U", "X", "0", "1", "Z", "W", "L", "H", "X"],  # Z
+    ["U", "X", "0", "1", "W", "W", "W", "W", "X"],  # W
+    ["U", "X", "0", "1", "L", "W", "L", "W", "X"],  # L
+    ["U", "X", "0", "1", "H", "W", "W", "H", "X"],  # H
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # -
+]
+
+# AND table (IEEE 1164 "and").
+AND_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "0", "U", "U", "U", "0", "U", "U"],  # U
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # X
+    ["0", "0", "0", "0", "0", "0", "0", "0", "0"],  # 0
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # 1
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # Z
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # W
+    ["0", "0", "0", "0", "0", "0", "0", "0", "0"],  # L
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # H
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # -
+]
+
+# OR table (IEEE 1164 "or").
+OR_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "U", "1", "U", "U", "U", "1", "U"],  # U
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # X
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # 0
+    ["1", "1", "1", "1", "1", "1", "1", "1", "1"],  # 1
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # Z
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # W
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # L
+    ["1", "1", "1", "1", "1", "1", "1", "1", "1"],  # H
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # -
+]
+
+# XOR table (IEEE 1164 "xor").
+XOR_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "U", "U", "U", "U", "U", "U", "U"],  # U
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # X
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # 0
+    ["U", "X", "1", "0", "X", "X", "1", "0", "X"],  # 1
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # Z
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # W
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # L
+    ["U", "X", "1", "0", "X", "X", "1", "0", "X"],  # H
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # -
+]
+
+# NOT table.
+NOT_TABLE = {
+    "U": "U", "X": "X", "0": "1", "1": "0", "Z": "X",
+    "W": "X", "L": "1", "H": "0", "-": "X",
+}
+
+# Conversion to the X01 subset.
+TO_X01 = {
+    "U": "X", "X": "X", "0": "0", "1": "1", "Z": "X",
+    "W": "X", "L": "0", "H": "1", "-": "X",
+}
+
+
+def resolve_bits(a, b):
+    """Resolve two single-bit logic values driven onto the same wire."""
+    return RESOLVE_TABLE[_INDEX[a]][_INDEX[b]]
+
+
+def and_bits(a, b):
+    """Nine-valued AND of two single-bit values."""
+    return AND_TABLE[_INDEX[a]][_INDEX[b]]
+
+
+def or_bits(a, b):
+    """Nine-valued OR of two single-bit values."""
+    return OR_TABLE[_INDEX[a]][_INDEX[b]]
+
+
+def xor_bits(a, b):
+    """Nine-valued XOR of two single-bit values."""
+    return XOR_TABLE[_INDEX[a]][_INDEX[b]]
+
+
+def not_bit(a):
+    """Nine-valued NOT of a single-bit value."""
+    return NOT_TABLE[a]
+
+
+class LogicVec:
+    """An immutable N-bit nine-valued logic vector.
+
+    Bits are stored MSB-first as a string over :data:`VALUES`, matching the
+    textual constant syntax ``const l4 "01XZ"``.
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits):
+        if not bits:
+            raise ValueError("logic vector must have >= 1 bit")
+        for b in bits:
+            if b not in _INDEX:
+                raise ValueError(f"invalid logic value {b!r}")
+        object.__setattr__(self, "bits", str(bits))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("LogicVec is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_int(cls, value, width):
+        """Build a vector from an integer, two's-complement truncated."""
+        value &= (1 << width) - 1
+        return cls(format(value, f"0{width}b"))
+
+    @classmethod
+    def filled(cls, bit, width):
+        """Build a vector with all bits set to ``bit`` (e.g. all-``X``)."""
+        return cls(bit * width)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def width(self):
+        return len(self.bits)
+
+    @property
+    def is_two_valued(self):
+        """True if every bit maps cleanly onto 0 or 1 (including L/H)."""
+        return all(TO_X01[b] in "01" for b in self.bits)
+
+    def to_int(self):
+        """Interpret as an unsigned integer; requires :attr:`is_two_valued`."""
+        if not self.is_two_valued:
+            raise ValueError(f"logic vector {self.bits!r} has no integer value")
+        return int("".join(TO_X01[b] for b in self.bits), 2)
+
+    def to_x01(self):
+        """Map every bit into the {X, 0, 1} subset."""
+        return LogicVec("".join(TO_X01[b] for b in self.bits))
+
+    # -- bitwise operations --------------------------------------------------
+
+    def _zip(self, other, table):
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+        return LogicVec("".join(table(a, b) for a, b in zip(self.bits, other.bits)))
+
+    def and_(self, other):
+        return self._zip(other, and_bits)
+
+    def or_(self, other):
+        return self._zip(other, or_bits)
+
+    def xor(self, other):
+        return self._zip(other, xor_bits)
+
+    def not_(self):
+        return LogicVec("".join(not_bit(b) for b in self.bits))
+
+    def resolve(self, other):
+        """Bitwise resolution with another driver's value."""
+        return self._zip(other, resolve_bits)
+
+    # -- dunder plumbing -----------------------------------------------------
+
+    def __eq__(self, other):
+        return isinstance(other, LogicVec) and self.bits == other.bits
+
+    def __hash__(self):
+        return hash(("LogicVec", self.bits))
+
+    def __str__(self):
+        return self.bits
+
+    def __repr__(self):
+        return f'LogicVec("{self.bits}")'
+
+
+def resolve_many(values):
+    """Resolve a non-empty list of :class:`LogicVec` drivers into one value."""
+    it = iter(values)
+    acc = next(it)
+    for v in it:
+        acc = acc.resolve(v)
+    return acc

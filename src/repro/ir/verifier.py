@@ -1,0 +1,269 @@
+"""IR verifier: structural well-formedness, unit placement rules, SSA
+dominance, and multi-level dialect legality.
+
+The placement rules implement Table 1 and section 2.5 of the paper:
+
+* Functions execute immediately — they may not suspend (``wait``/``halt``)
+  or interact with signals (``sig``/``prb``/``drv``...).
+* Processes may probe/drive signals and suspend, but ``reg``, ``inst``,
+  ``con`` and ``del`` are limited to entities.
+* Entities are pure data flow: no control flow, no phi, no memory.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dominators import DominatorTree
+from .dialects import BEHAVIOURAL, level_violations
+from .instructions import TERMINATORS
+from .units import UnitDecl, entity_signature
+from .values import Argument, Block
+
+
+class VerificationError(Exception):
+    """Raised when a module or unit violates IR invariants."""
+
+    def __init__(self, issues):
+        self.issues = list(issues)
+        super().__init__(
+            f"{len(self.issues)} verification issue(s):\n  "
+            + "\n  ".join(self.issues))
+
+
+# Known llhd.* intrinsics and their (arg-count, purpose).
+INTRINSICS = {
+    "llhd.assert": "assert a condition during simulation",
+    "llhd.assert.msg": "assert with message",
+    "llhd.print": "print values during simulation",
+    "llhd.finish": "terminate the simulation",
+}
+
+_FUNCTION_FORBIDDEN = frozenset({
+    "sig", "prb", "drv", "reg", "inst", "con", "del", "wait", "halt",
+})
+_PROCESS_FORBIDDEN = frozenset({"reg", "inst", "con", "del", "ret"})
+_ENTITY_FORBIDDEN = frozenset({
+    "br", "wait", "halt", "ret", "phi", "var", "ld", "st", "alloc", "free",
+})
+
+
+def verify_module(module, level=BEHAVIOURAL):
+    """Verify a module; raise :class:`VerificationError` on any issue."""
+    issues = []
+    for unit in module:
+        issues += _unit_issues(unit, module)
+    issues += level_violations(module, level)
+    if issues:
+        raise VerificationError(issues)
+
+
+def verify_unit(unit, module=None):
+    """Verify a single unit; raise on any issue."""
+    issues = _unit_issues(unit, module)
+    if issues:
+        raise VerificationError(issues)
+
+
+def _unit_issues(unit, module):
+    where = f"@{unit.name}"
+    issues = []
+    if unit.is_entity:
+        issues += _check_entity(unit, where)
+    else:
+        issues += _check_cf_unit(unit, where)
+    issues += _check_placement(unit, where)
+    if module is not None:
+        issues += _check_references(unit, module, where)
+    return issues
+
+
+def _check_cf_unit(unit, where):
+    issues = []
+    if not unit.blocks:
+        issues.append(f"{where}: unit has no blocks")
+        return issues
+    for block in unit.blocks:
+        label = f"{where}/%{block.name or '?'}"
+        if not block.instructions:
+            issues.append(f"{label}: empty block (needs a terminator)")
+            continue
+        term = block.instructions[-1]
+        if term.opcode not in TERMINATORS:
+            issues.append(f"{label}: block does not end in a terminator")
+        for inst in block.instructions[:-1]:
+            if inst.opcode in TERMINATORS:
+                issues.append(
+                    f"{label}: terminator '{inst.opcode}' in mid-block")
+        seen_non_phi = False
+        for inst in block.instructions:
+            if inst.opcode == "phi":
+                if seen_non_phi:
+                    issues.append(f"{label}: phi after non-phi instruction")
+            else:
+                seen_non_phi = True
+    if unit.is_function:
+        issues += _check_function_returns(unit, where)
+    issues += _check_phis(unit, where)
+    issues += _check_dominance(unit, where)
+    return issues
+
+
+def _check_function_returns(unit, where):
+    issues = []
+    for block in unit.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        if term.opcode in ("wait", "halt"):
+            issues.append(
+                f"{where}: function may not contain '{term.opcode}'")
+        if term.opcode == "ret":
+            if unit.return_type.is_void:
+                if term.operands:
+                    issues.append(f"{where}: ret with value in void function")
+            elif not term.operands:
+                issues.append(f"{where}: ret without value")
+            elif term.operands[0].type is not unit.return_type:
+                issues.append(
+                    f"{where}: ret type {term.operands[0].type} does not "
+                    f"match return type {unit.return_type}")
+    return issues
+
+
+def _check_phis(unit, where):
+    issues = []
+    for block in unit.blocks:
+        preds = block.predecessors()
+        pred_ids = {id(p) for p in preds}
+        for phi in block.phis():
+            pairs = phi.phi_pairs()
+            seen = set()
+            for _, pred in pairs:
+                if id(pred) not in pred_ids:
+                    issues.append(
+                        f"{where}: phi has incoming from non-predecessor "
+                        f"%{pred.name or '?'}")
+                seen.add(id(pred))
+            for pred in preds:
+                if id(pred) not in seen:
+                    issues.append(
+                        f"{where}: phi is missing incoming value for "
+                        f"predecessor %{pred.name or '?'}")
+    return issues
+
+
+def _check_dominance(unit, where):
+    issues = []
+    domtree = DominatorTree(unit)
+    reachable = {id(b) for b in domtree.order}
+    for block in unit.blocks:
+        if id(block) not in reachable:
+            continue  # unreachable code is legal, just not checked
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                if isinstance(op, (Argument, Block)):
+                    continue
+                if getattr(op, "parent", None) is None:
+                    issues.append(
+                        f"{where}: operand of '{inst.opcode}' is detached")
+                    continue
+                if not domtree.value_dominates(op, inst, index):
+                    issues.append(
+                        f"{where}: use of %{op.name or '?'} in "
+                        f"'{inst.opcode}' is not dominated by its definition")
+    return issues
+
+
+def _check_entity(unit, where):
+    issues = []
+    defined = {id(a) for a in unit.args}
+    for inst in unit.body:
+        if inst.opcode in TERMINATORS:
+            issues.append(
+                f"{where}: control flow ('{inst.opcode}') in entity")
+        for op in inst.operands:
+            if isinstance(op, (Argument, Block)):
+                continue
+            if id(op) not in defined:
+                issues.append(
+                    f"{where}: '{inst.opcode}' uses %{op.name or '?'} "
+                    f"before its definition")
+        defined.add(id(inst))
+    return issues
+
+
+def _check_placement(unit, where):
+    forbidden = {
+        "func": _FUNCTION_FORBIDDEN,
+        "proc": _PROCESS_FORBIDDEN,
+        "entity": _ENTITY_FORBIDDEN,
+    }[unit.kind]
+    issues = []
+    for inst in unit.instructions():
+        if inst.opcode in forbidden:
+            issues.append(
+                f"{where}: '{inst.opcode}' is not allowed in a {unit.kind}")
+    return issues
+
+
+def _check_references(unit, module, where):
+    issues = []
+    for inst in unit.instructions():
+        if inst.opcode == "inst":
+            issues += _check_inst_reference(inst, module, where)
+        elif inst.opcode == "call":
+            issues += _check_call_reference(inst, module, where)
+    return issues
+
+
+def _check_inst_reference(inst, module, where):
+    callee = module.get(inst.callee)
+    if callee is None:
+        return [f"{where}: inst of undefined unit @{inst.callee}"]
+    kind = callee.kind
+    if kind == "func":
+        return [f"{where}: cannot instantiate function @{inst.callee}"]
+    in_types, out_types = entity_signature(callee)
+    issues = []
+    actual_ins = [o.type for o in inst.inst_inputs()]
+    actual_outs = [o.type for o in inst.inst_outputs()]
+    if list(in_types) != actual_ins:
+        issues.append(
+            f"{where}: inst @{inst.callee} input types {actual_ins} do not "
+            f"match signature {list(in_types)}")
+    if list(out_types) != actual_outs:
+        issues.append(
+            f"{where}: inst @{inst.callee} output types {actual_outs} do "
+            f"not match signature {list(out_types)}")
+    return issues
+
+
+def _check_call_reference(inst, module, where):
+    name = inst.callee
+    if name.startswith("llhd."):
+        if name not in INTRINSICS:
+            return [f"{where}: unknown intrinsic @{name}"]
+        return []
+    callee = module.get(name)
+    if callee is None:
+        return [f"{where}: call to undefined function @{name}"]
+    if isinstance(callee, UnitDecl):
+        if callee.kind != "func":
+            return [f"{where}: call to non-function @{name}"]
+        expected = list(callee.input_types)
+        ret = callee.return_type
+    else:
+        if not callee.is_function:
+            return [f"{where}: call to non-function @{name}"]
+        expected = [a.type for a in callee.args]
+        ret = callee.return_type
+    actual = [a.type for a in inst.call_args()]
+    issues = []
+    if expected != actual:
+        issues.append(
+            f"{where}: call @{name} argument types {actual} do not match "
+            f"signature {expected}")
+    if inst.type is not ret:
+        issues.append(
+            f"{where}: call @{name} result type {inst.type} does not match "
+            f"return type {ret}")
+    return issues

@@ -1,0 +1,30 @@
+"""Moore: a SystemVerilog-subset frontend emitting Behavioural LLHD.
+
+Usage::
+
+    from repro.moore import compile_sv
+    module = compile_sv(open("design.sv").read())
+
+The supported subset covers what the paper's evaluation needs: modules
+with ANSI ports and parameters, generate-for, always/always_ff/
+always_comb/initial blocks, blocking and nonblocking assignments with
+delays, if/case/for/while/do-while, functions, concatenation and slicing,
+instantiation (positional, named, ``.*``), ``$display``/``$finish``,
+and immediate assertions.
+"""
+
+from .codegen import CodeGenerator, MooreError, compile_source
+from .lexer import MooreSyntaxError, tokenize
+from .parser import parse_source
+
+# Importing procgen wires the two halves of the code generator together.
+from . import procgen as _procgen  # noqa: F401
+
+
+def compile_sv(source, top=None, module_name="moore"):
+    """Compile SystemVerilog source text into a Behavioural LLHD module."""
+    return compile_source(source, top=top, module_name=module_name)
+
+
+__all__ = ["CodeGenerator", "MooreError", "MooreSyntaxError", "compile_sv",
+           "compile_source", "parse_source", "tokenize"]

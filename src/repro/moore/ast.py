@@ -1,0 +1,301 @@
+"""Abstract syntax tree for the Moore SystemVerilog subset.
+
+Plain dataclasses; the codegen walks these directly.  Source line numbers
+are kept on every node for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# -- expressions -----------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Number(Expr):
+    value: int = 0
+    width: Optional[int] = None   # None: unsized decimal
+    has_xz: bool = False
+
+
+@dataclass
+class UnbasedUnsized(Expr):
+    """'0 / '1 / 'x: fills the context width."""
+    fill: str = "0"
+
+
+@dataclass
+class TimeLiteral(Expr):
+    text: str = "0s"
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None
+    if_true: Expr = None
+    if_false: Expr = None
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class PartSelect(Expr):
+    base: Expr = None
+    msb: Expr = None
+    lsb: Expr = None
+
+
+@dataclass
+class Concat(Expr):
+    parts: list = field(default_factory=list)
+
+
+@dataclass
+class Replicate(Expr):
+    count: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class SystemCall(Expr):
+    name: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class PostIncrement(Expr):
+    target: Expr = None
+    op: str = "++"
+
+
+# -- statements --------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: list = field(default_factory=list)
+    declarations: list = field(default_factory=list)   # local automatic vars
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None
+    value: Expr = None
+    blocking: bool = True
+    delay: Optional[Expr] = None
+    op: Optional[str] = None      # compound: "+=", "-=", ...
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then_body: Stmt = None
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class Case(Stmt):
+    subject: Expr = None
+    items: list = field(default_factory=list)   # [(labels|None, Stmt)]
+    wildcard: bool = False                      # casez
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt = None
+    cond: Expr = None
+    step: Stmt = None
+    body: Stmt = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class Delay(Stmt):
+    amount: Expr = None
+
+
+@dataclass
+class EventWait(Stmt):
+    """@(posedge clk) as a statement inside a process body."""
+    events: list = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class AssertStmt(Stmt):
+    cond: Expr = None
+    message: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    data_type: "DataType" = None
+    init: Optional[Expr] = None
+    automatic: bool = False
+
+
+# -- module items ----------------------------------------------------------------------
+
+@dataclass
+class DataType:
+    """A (possibly packed/unpacked-array) data type."""
+    base: str = "logic"           # logic | bit | int | integer
+    packed: Optional[tuple] = None   # (msb Expr, lsb Expr)
+    unpacked: list = field(default_factory=list)  # [(size Expr)] per dim
+    signed: bool = False
+    line: int = 0
+
+
+@dataclass
+class Port:
+    name: str = ""
+    direction: str = "input"
+    data_type: DataType = None
+    line: int = 0
+
+
+@dataclass
+class Parameter:
+    name: str = ""
+    default: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class NetDecl:
+    name: str = ""
+    data_type: DataType = None
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class ContinuousAssign:
+    target: Expr = None
+    value: Expr = None
+    delay: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class EventExpr:
+    """posedge clk / negedge rst / plain signal in a sensitivity list."""
+    edge: Optional[str] = None     # "posedge" | "negedge" | None
+    signal: Expr = None
+
+
+@dataclass
+class AlwaysBlock:
+    kind: str = "always"   # always | always_ff | always_comb | initial
+    events: Optional[list] = None  # sensitivity list (None = always_comb/*)
+    body: Stmt = None
+    line: int = 0
+
+
+@dataclass
+class FunctionDecl:
+    name: str = ""
+    return_type: Optional[DataType] = None
+    args: list = field(default_factory=list)   # [(name, DataType)]
+    body: Stmt = None
+    declarations: list = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Instantiation:
+    module: str = ""
+    name: str = ""
+    param_overrides: list = field(default_factory=list)  # [(name|None, Expr)]
+    connections: list = field(default_factory=list)      # [(name|None, Expr)]
+    wildcard: bool = False                               # .*
+    line: int = 0
+
+
+@dataclass
+class GenerateFor:
+    genvar: str = ""
+    init: Expr = None
+    cond: Expr = None
+    step: Expr = None
+    items: list = field(default_factory=list)
+    label: str = ""
+    line: int = 0
+
+
+@dataclass
+class ModuleDecl:
+    name: str = ""
+    parameters: list = field(default_factory=list)
+    ports: list = field(default_factory=list)
+    items: list = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class SourceFile:
+    modules: list = field(default_factory=list)

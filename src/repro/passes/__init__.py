@@ -1,0 +1,28 @@
+"""Transformation passes: behavioural → structural lowering (section 4).
+
+Quick use::
+
+    from repro.passes import lower_to_structural
+    report = lower_to_structural(module)   # in place; raises on rejection
+"""
+
+from . import (
+    cf, clone, cse, dce, deseq, dnf, ecm, inline, inline_entities,
+    instsimplify, mem2reg, process_lowering, tcfe, tcm, unroll,
+)
+from .inline import InlineError, inline_calls
+from .inline_entities import (
+    forward_signals, inline_entities as inline_entity_insts,
+    simplify_reg_feedback,
+)
+from .pipeline import (
+    LoweringRejection, LoweringReport, cleanup, lower_to_structural,
+)
+
+__all__ = [
+    "InlineError", "LoweringRejection", "LoweringReport", "cf", "cleanup",
+    "clone", "cse", "dce", "deseq", "dnf", "ecm", "forward_signals",
+    "inline", "inline_calls", "inline_entities", "inline_entity_insts",
+    "instsimplify", "lower_to_structural", "mem2reg", "process_lowering",
+    "simplify_reg_feedback", "tcfe", "tcm", "unroll",
+]

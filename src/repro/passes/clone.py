@@ -1,0 +1,74 @@
+"""Instruction and region cloning, shared by inlining, unrolling, and
+desequentialization (which copies the drive DFG into a new entity)."""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction, RegTrigger
+from ..ir.values import Block
+
+
+def clone_instruction(inst, value_map):
+    """Clone one instruction, remapping operands through ``value_map``.
+
+    ``value_map`` maps ``id(original_value) -> replacement`` for operands
+    and branch-target blocks; unmapped operands are reused as-is (valid for
+    values that remain in scope, e.g. when cloning within one unit).
+    """
+    operands = [value_map.get(id(op), op) for op in inst.operands]
+    attrs = dict(inst.attrs)
+    if inst.opcode == "reg":
+        attrs["triggers"] = [
+            RegTrigger(t.mode, t.value, t.trigger, t.cond, t.delay)
+            for t in attrs["triggers"]]
+    clone = Instruction(inst.opcode, inst.type, operands, attrs, inst.name)
+    value_map[id(inst)] = clone
+    return clone
+
+
+def clone_blocks_into(unit, blocks, value_map, name_suffix=""):
+    """Clone a list of blocks (with their instructions) into ``unit``.
+
+    Returns the list of new blocks.  ``value_map`` is extended with both
+    block and instruction mappings; it should already map external values
+    (e.g. arguments) if they are to be substituted.
+    """
+    new_blocks = []
+    for block in blocks:
+        new_block = unit.create_block(
+            (block.name or "bb") + name_suffix)
+        value_map[id(block)] = new_block
+        new_blocks.append(new_block)
+    for block, new_block in zip(blocks, new_blocks):
+        for inst in block.instructions:
+            new_block.append(clone_instruction(inst, value_map))
+    return new_blocks
+
+
+def clone_dfg_into(values, builder, value_map, on_clone=None):
+    """Clone the transitive data-flow graph of ``values`` via ``builder``.
+
+    Pure producers (and ``prb``) reached through operands are cloned in
+    dependency order.  Pre-seeded entries of ``value_map`` act as the
+    cut-off frontier (e.g. process arguments mapped to entity arguments).
+    Returns the mapped values in input order.
+    """
+    def visit(value):
+        mapped = value_map.get(id(value))
+        if mapped is not None:
+            return mapped
+        if isinstance(value, Block):
+            raise ValueError("clone_dfg_into cannot cross control flow")
+        if not isinstance(value, Instruction):
+            # Unmapped argument or foreign value: caller must pre-seed it.
+            raise KeyError(
+                f"value %{value.name or '?'} is not mapped and is not "
+                f"cloneable")
+        for op in value.operands:
+            visit(op)
+        clone = clone_instruction(value, value_map)
+        builder.insert(clone)
+        if on_clone is not None:
+            on_clone(value, clone)
+        return clone
+
+    return [visit(v) for v in values]

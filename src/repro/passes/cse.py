@@ -1,0 +1,93 @@
+"""Common Subexpression Elimination (CSE) — section 4.1.
+
+Dominator-scoped value numbering: a pure instruction is replaced by an
+earlier identical instruction if that instruction's block dominates it.
+``prb``/``ld`` are stateful (two probes may observe different values) and
+are never merged.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dominators import DominatorTree
+from ..ir.ninevalued import LogicVec
+from ..ir.values import TimeValue
+
+
+def _key(inst):
+    """Hashable identity of a pure instruction, or None if not CSE-able."""
+    if not inst.is_pure:
+        return None
+    attr_items = []
+    for name, value in sorted(inst.attrs.items()):
+        if isinstance(value, (int, str, bool, type(None), TimeValue,
+                              LogicVec)):
+            attr_items.append((name, value))
+        else:
+            return None
+    return (inst.opcode, inst.type,
+            tuple(id(op) for op in inst.operands), tuple(attr_items))
+
+
+def run(unit):
+    """Run CSE on one unit; returns True if anything was merged."""
+    if unit.is_entity:
+        return _run_linear(unit.body)
+    domtree = DominatorTree(unit)
+    children = {id(b): [] for b in unit.blocks}
+    for block in unit.blocks:
+        idom = domtree.immediate_dominator(block)
+        if idom is not None:
+            children[id(idom)].append(block)
+    changed = False
+    scope = {}
+
+    def visit(block):
+        nonlocal changed
+        added = []
+        for inst in list(block.instructions):
+            key = _key(inst)
+            if key is None:
+                continue
+            existing = scope.get(key)
+            if existing is not None:
+                inst.replace_all_uses_with(existing)
+                inst.erase()
+                changed = True
+            else:
+                scope[key] = inst
+                added.append(key)
+        for child in children[id(block)]:
+            visit(child)
+        for key in added:
+            del scope[key]
+
+    entry = unit.entry
+    if entry is not None:
+        visit(entry)
+    return changed
+
+
+def _run_linear(body):
+    """CSE over an entity body (straight-line data flow).
+
+    Unlike processes, an entity body executes atomically within one
+    activation, so two probes of the same signal observe the same value
+    and may be merged.
+    """
+    changed = False
+    seen = {}
+    for inst in list(body.instructions):
+        if inst.opcode == "prb":
+            key = ("prb", id(inst.operands[0]))
+        else:
+            key = _key(inst)
+        if key is None:
+            continue
+        existing = seen.get(key)
+        if existing is not None:
+            inst.replace_all_uses_with(existing)
+            inst.erase()
+            changed = True
+        else:
+            seen[key] = inst
+    return changed

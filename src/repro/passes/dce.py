@@ -1,0 +1,30 @@
+"""Dead Code Elimination (DCE) — section 4.1.
+
+Removes instructions whose results are unused and which have no side
+effects, plus blocks unreachable from the entry.  ``prb``/``ld``/``var``
+are stateful but removable when unused; ``drv``/``st``/``call`` and
+terminators are never removed.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import remove_unreachable_blocks
+
+
+def run(unit):
+    """Run DCE to a fixpoint; returns True if anything was removed."""
+    changed = False
+    if not unit.is_entity:
+        changed |= bool(remove_unreachable_blocks(unit))
+    while True:
+        dead = []
+        for block in unit.blocks:
+            for inst in block.instructions:
+                if inst.has_side_effects or inst.is_used:
+                    continue
+                dead.append(inst)
+        if not dead:
+            return changed
+        changed = True
+        for inst in dead:
+            inst.erase()

@@ -1,0 +1,395 @@
+"""Desequentialization (Deseq) — section 4.6.
+
+Identifies processes describing sequential circuits (flip-flops, latches)
+and rewrites them into entities with explicit ``reg`` storage:
+
+1. Consider processes with exactly two basic blocks and temporal regions
+   (the canonical form TCM/TCFE produce; "covers all relevant practical
+   HDL inputs").
+2. Canonicalize each drive condition into DNF; each disjunctive term
+   identifies a separate trigger.
+3. Classify each probed sample as *past* (TR of the ``wait``) or *present*
+   (TR of the ``drv``); pattern-match ``¬T0 ∧ T1`` as a rising edge,
+   ``T0 ∧ ¬T1`` as falling, the disjunction of both as either-edge; all
+   remaining terms become high/low level triggers or trigger conditions.
+4. Emit a ``reg`` in a new entity, cloning the full DFG of the driven
+   value, delay, and conditions.
+
+Processes whose drives all map to registers are replaced by the entity;
+anything else is left untouched (the lowering pipeline then rejects it).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import Builder
+from ..ir.instructions import Instruction
+from ..ir.units import Entity
+from .clone import clone_instruction
+from .dnf import FALSE, build_dnf, literals, terms
+
+
+class DeseqError(Exception):
+    """Raised internally when a process does not match a sequential form."""
+
+
+def matches_shape(proc):
+    """Two blocks, two TRs: one wait block, one drive block."""
+    from ..analysis.temporal import TemporalRegions
+
+    if not proc.is_process or len(proc.blocks) != 2:
+        return False
+    if TemporalRegions(proc).count != 2:
+        return False
+    waits = [b for b in proc.blocks
+             if b.terminator is not None and b.terminator.opcode == "wait"]
+    if len(waits) != 1:
+        return False
+    b0 = waits[0]
+    b1 = next(b for b in proc.blocks if b is not b0)
+    term = b1.terminator
+    if term is None or term.opcode != "br" or term.is_conditional_branch:
+        return False
+    return term.operands[0] is b0 and b0.terminator.wait_dest() is b1
+
+
+def _root_signal(value):
+    while isinstance(value, Instruction) and value.opcode in ("extf", "exts"):
+        value = value.operands[0]
+    return value if value.type.is_signal else None
+
+
+def _classify_literal(value, b0, b1):
+    """-> ("past"|"present", root_signal) for probes, ("opaque", None)."""
+    if isinstance(value, Instruction) and value.opcode == "prb":
+        root = _root_signal(value.operands[0])
+        if value.parent is b0:
+            return "past", root
+        if value.parent is b1:
+            return "present", root
+    return "opaque", None
+
+
+def _analyze_drive(drv, b0, b1):
+    """Map one drive's condition DNF into trigger specs.
+
+    Returns a list of ``(mode, present_sample_value, rest_literals)``
+    where rest_literals is a tuple of (value, positive) evaluated in the
+    present TR.  Raises DeseqError when no sequential pattern matches.
+    """
+    cond = drv.drv_condition()
+    if cond is None:
+        raise DeseqError("unconditional drive in a two-TR process")
+    dnf = build_dnf(cond)
+    if dnf == FALSE:
+        return []
+    specs = []
+    for term in terms(dnf):
+        past = {}     # id(root) -> (lit_value, positive, root)
+        present = {}  # id(root) -> (lit_value, positive, root)
+        opaque = []
+        for value, positive in sorted(
+                literals(term), key=lambda lit: id(lit[0])):
+            kind, root = _classify_literal(value, b0, b1)
+            if kind == "past":
+                if id(root) in past:
+                    raise DeseqError("signal sampled twice in the past")
+                past[id(root)] = (value, positive, root)
+            elif kind == "present":
+                if id(root) in present:
+                    raise DeseqError("signal sampled twice in the present")
+                present[id(root)] = (value, positive, root)
+            else:
+                opaque.append((value, positive))
+        edges = []
+        for key, (p_val, p_pos, root) in past.items():
+            if key not in present:
+                raise DeseqError(
+                    "past sample without a matching present sample")
+            q_val, q_pos, _ = present[key]
+            if not p_pos and q_pos:
+                edges.append(("rise", q_val, key))
+            elif p_pos and not q_pos:
+                edges.append(("fall", q_val, key))
+            else:
+                raise DeseqError("past/present samples with equal polarity")
+        if len(edges) > 1:
+            raise DeseqError("more than one edge in a single trigger term")
+        rest = list(opaque)
+        # Full literal assignment of this term, used to specialize the
+        # stored value per trigger (partial evaluation).
+        assignment = {}
+        for value, positive in literals(term):
+            assignment[id(value)] = 1 if positive else 0
+        if edges:
+            mode, trigger_value, edge_key = edges[0]
+            for key, (q_val, q_pos, _) in present.items():
+                if key != edge_key:
+                    rest.append((q_val, q_pos))
+            specs.append((mode, trigger_value, tuple(rest), assignment))
+        else:
+            # Level trigger: pick the first present sample as the level.
+            if not present:
+                raise DeseqError("term has no samples to trigger on")
+            items = sorted(present.items(), key=lambda kv: kv[0])
+            (_, (q_val, q_pos, _)), *others = items
+            for _, (v, p, _) in others:
+                rest.append((v, p))
+            specs.append(("high" if q_pos else "low", q_val, tuple(rest),
+                          assignment))
+    return _merge_either_edges(specs)
+
+
+def _merge_either_edges(specs):
+    """(rise T ∧ C) ∨ (fall T ∧ C) -> both-edges trigger."""
+    merged = []
+    used = [False] * len(specs)
+    for i, (mode, trig, rest, assign) in enumerate(specs):
+        if used[i]:
+            continue
+        if mode in ("rise", "fall"):
+            partner = "fall" if mode == "rise" else "rise"
+            for j in range(i + 1, len(specs)):
+                m2, t2, r2, a2 = specs[j]
+                if not used[j] and m2 == partner and t2 is trig \
+                        and r2 == rest:
+                    # Drop the (conflicting) edge samples from the merged
+                    # assignment; shared literals keep their values.
+                    common = {k: v for k, v in assign.items()
+                              if a2.get(k) == v}
+                    merged.append(("both", trig, rest, common))
+                    used[i] = used[j] = True
+                    break
+            if used[i]:
+                continue
+        merged.append((mode, trig, rest, assign))
+        used[i] = True
+    return merged
+
+
+def _merge_probes(proc):
+    """Unify multiple probes of one signal inside one block.
+
+    Within a temporal region all probes of a signal observe the same
+    instant, so they are interchangeable; unifying them is what lets the
+    DNF literals of one signal line up (e.g. the reset sampled both by the
+    edge detector and by the body's ``if``).
+    """
+    for block in proc.blocks:
+        first = {}
+        for inst in list(block.instructions):
+            if inst.opcode != "prb":
+                continue
+            key = id(inst.operands[0])
+            earlier = first.get(key)
+            if earlier is None:
+                first[key] = inst
+            else:
+                inst.replace_all_uses_with(earlier)
+                inst.erase()
+
+
+def desequentialize(module, proc):
+    """Rewrite one matching process into an entity with reg storage.
+
+    Returns the new entity, or None if the process does not match.
+    """
+    if not matches_shape(proc):
+        return None
+    _merge_probes(proc)
+    b0 = next(b for b in proc.blocks if b.terminator.opcode == "wait")
+    b1 = next(b for b in proc.blocks if b is not b0)
+    drives = [i for b in proc.blocks for i in b.instructions
+              if i.opcode == "drv"]
+    if not drives or any(d.parent is not b1 for d in drives):
+        return None
+    try:
+        analyzed = [(d, _analyze_drive(d, b0, b1)) for d in drives]
+    except DeseqError:
+        return None
+
+    entity = Entity(
+        proc.name,
+        [a.type for a in proc.inputs], [a.name for a in proc.inputs],
+        [a.type for a in proc.outputs], [a.name for a in proc.outputs])
+    value_map = {}
+    for old, new in zip(proc.args, entity.args):
+        value_map[id(old)] = new
+    builder = Builder.at_end(entity.body)
+
+    def clone(value, subst=None):
+        """Clone a value's DFG into the entity, specializing under a
+        substitution of sample values (partial evaluation).
+
+        Past samples (probes in the wait TR) must fold away under the
+        substitution; if one survives, the data would depend on a previous
+        instant, which an entity cannot express — reject.
+        """
+        return _specialize(value, subst or {}, builder, value_map, b0)
+
+    try:
+        for drv, specs in analyzed:
+            signal = clone(drv.drv_signal())
+            delay = clone(drv.drv_delay())
+            triggers = []
+            for mode, trigger_value, rest, assignment in specs:
+                # Specialize the stored value under the term's literal
+                # assignment: under the "reset falls" trigger,
+                # `mux([0, d], posedge & ...)` folds to the constant 0.
+                value = clone(drv.drv_value(), assignment)
+                trigger = clone(trigger_value)
+                cond = None
+                for lit_value, positive in rest:
+                    lit = clone(lit_value)
+                    if not positive:
+                        lit = builder.not_(lit)
+                    cond = lit if cond is None else builder.and_(cond, lit)
+                triggers.append((mode, value, trigger, cond, delay))
+            if triggers:
+                builder.reg(signal, triggers)
+    except (DeseqError, KeyError, ValueError):
+        return None
+
+    module.remove(proc.name)
+    module.add(entity)
+    return entity
+
+
+def _specialize(value, subst, builder, value_map, b0, memo=None):
+    """Clone ``value``'s DFG into the entity under a literal substitution.
+
+    Returns an entity value.  Sample literals present in ``subst`` become
+    constants and constant subexpressions fold (via the simulator's own
+    evaluator), which is how per-trigger value specialization eliminates
+    the edge-detection logic from the stored value.
+    """
+    if memo is None:
+        memo = {}
+    result = _spec_rec(value, subst, builder, value_map, b0, memo)
+    if result[0] == "c":
+        return _materialize(result[1], value.type, builder)
+    return result[1]
+
+
+def _spec_rec(value, subst, builder, value_map, b0, memo):
+    key = id(value)
+    if key in subst:
+        return ("c", subst[key])
+    if key in memo:
+        return memo[key]
+    mapped = value_map.get(key)
+    if mapped is not None:
+        return ("v", mapped)
+    if not isinstance(value, Instruction):
+        raise DeseqError(f"value %{value.name or '?'} is not mapped")
+    if value.opcode == "const":
+        result = ("c", value.attrs["value"])
+        memo[key] = result
+        return result
+    if value.opcode == "prb":
+        if value.parent is b0:
+            raise DeseqError("past sample used as data")
+        target = _spec_rec(value.operands[0], subst, builder, value_map,
+                           b0, memo)
+        inst = builder.prb(target[1], name=value.name)
+        memo[key] = ("v", inst)
+        return memo[key]
+    if not value.is_pure and value.opcode not in ("extf", "exts"):
+        raise DeseqError(f"'{value.opcode}' cannot move into an entity")
+    operands = []
+    for op in value.operands:
+        try:
+            operands.append(_spec_rec(op, subst, builder, value_map, b0,
+                                      memo))
+        except DeseqError as error:
+            # The operand depends on a past sample; it may still be
+            # irrelevant if an algebraic short-circuit absorbs it.
+            operands.append(("p", error))
+    shortcut = _short_circuit(value, operands, subst, builder, value_map,
+                              b0, memo)
+    if shortcut is not None:
+        memo[key] = shortcut
+        return shortcut
+    for result in operands:
+        if result[0] == "p":
+            raise result[1]
+    if all(o[0] == "c" for o in operands) and value.is_pure:
+        from ..sim.eval import evaluate
+        from ..sim.values import SimulationError
+
+        try:
+            folded = evaluate(value, [o[1] for o in operands])
+            memo[key] = ("c", folded)
+            return memo[key]
+        except SimulationError:
+            pass
+    materialized = [
+        o[1] if o[0] == "v"
+        else _materialize(o[1], orig.type, builder)
+        for o, orig in zip(operands, value.operands)]
+    remap = {id(op): mat
+             for op, mat in zip(value.operands, materialized)}
+    inst = clone_instruction(value, remap)
+    builder.insert(inst)
+    memo[key] = ("v", inst)
+    return memo[key]
+
+
+def _short_circuit(value, operands, subst, builder, value_map, b0, memo):
+    """Absorbing-element folds that can discard a poisoned operand."""
+    from ..ir.types import bit_width
+
+    op = value.opcode
+    if op in ("and", "mul") and value.type.is_int:
+        for result in operands:
+            if result[0] == "c" and result[1] == 0:
+                return ("c", 0)
+    if op == "and" and value.type.is_int:
+        ones = (1 << value.type.width) - 1
+        for i, result in enumerate(operands):
+            if result[0] == "c" and result[1] == ones \
+                    and operands[1 - i][0] != "p":
+                return operands[1 - i]
+    if op == "or" and value.type.is_int:
+        ones = (1 << value.type.width) - 1
+        for result in operands:
+            if result[0] == "c" and result[1] == ones:
+                return ("c", ones)
+        for i, result in enumerate(operands):
+            if result[0] == "c" and result[1] == 0 \
+                    and operands[1 - i][0] != "p":
+                return operands[1 - i]
+    if op == "mux" and operands[1][0] == "c":
+        selector = operands[1][1]
+        array_inst = value.operands[0]
+        if isinstance(array_inst, Instruction) \
+                and array_inst.opcode == "array" \
+                and not array_inst.attrs.get("splat"):
+            elements = array_inst.operands
+            chosen = elements[min(selector, len(elements) - 1)]
+            return _spec_rec(chosen, subst, builder, value_map, b0, memo)
+        if operands[0][0] == "c":
+            choices = operands[0][1]
+            return ("c", choices[min(selector, len(choices) - 1)])
+    return None
+
+
+def _materialize(const_value, ty, builder):
+    from ..ir.ninevalued import LogicVec
+    from ..ir.values import TimeValue
+
+    if isinstance(const_value, TimeValue):
+        return builder.const_time(const_value)
+    if isinstance(const_value, LogicVec):
+        return builder.const_logic(const_value)
+    if isinstance(const_value, tuple):
+        raise DeseqError("aggregate constants cannot be materialized")
+    return builder.const_int(ty, const_value)
+
+
+def run(module):
+    """Desequentialize every matching process; returns how many."""
+    count = 0
+    for proc in list(module.processes()):
+        if desequentialize(module, proc) is not None:
+            count += 1
+    return count

@@ -1,0 +1,138 @@
+"""Disjunctive Normal Form canonicalization of i1 conditions — section 4.6.
+
+The desequentialization pass canonicalizes each drive condition into DNF to
+identify flip-flop/latch triggers.  The DNF here operates on SSA values:
+
+* ``and``/``or``/``not``/``xor`` over i1 expand structurally;
+* ``eq``/``neq`` on i1 expand to their boolean forms (the paper: "the DNF
+  is trivially extended to eq and neq");
+* everything else is an opaque *atom* retained as a literal.
+
+The result is a set of conjunctive terms; each term a set of
+``(value, polarity)`` literals.  Contradictory terms (x ∧ ¬x) are pruned
+and absorbed terms dropped.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction
+
+TRUE = frozenset({frozenset()})   # one empty conjunction
+FALSE = frozenset()               # no terms
+
+
+def _atom(value, positive):
+    return frozenset({frozenset({(id(value), value, positive)})})
+
+
+def _and_dnf(a, b):
+    terms = set()
+    for ta in a:
+        for tb in b:
+            term = ta | tb
+            if _contradictory(term):
+                continue
+            terms.add(term)
+    return frozenset(terms)
+
+
+def _or_dnf(a, b):
+    return frozenset(a | b)
+
+
+def _contradictory(term):
+    seen = {}
+    for key, _value, positive in term:
+        if key in seen and seen[key] != positive:
+            return True
+        seen[key] = positive
+    return False
+
+
+def _is_i1(value):
+    return value.type.is_int and value.type.width == 1
+
+
+def build_dnf(value, positive=True, depth=0, max_depth=32):
+    """Build the DNF of an i1 SSA value (as a frozenset of literal sets)."""
+    if depth > max_depth:
+        return _atom(value, positive)
+    if isinstance(value, Instruction):
+        op = value.opcode
+        ops = value.operands
+        if op == "const":
+            truth = bool(value.attrs["value"]) == positive
+            return TRUE if truth else FALSE
+        if op == "not":
+            return build_dnf(ops[0], not positive, depth + 1, max_depth)
+        if op == "and" and _is_i1(value):
+            a = build_dnf(ops[0], True, depth + 1, max_depth)
+            b = build_dnf(ops[1], True, depth + 1, max_depth)
+            result = _and_dnf(a, b)
+            return result if positive else negate_dnf(result)
+        if op == "or" and _is_i1(value):
+            a = build_dnf(ops[0], True, depth + 1, max_depth)
+            b = build_dnf(ops[1], True, depth + 1, max_depth)
+            result = _or_dnf(a, b)
+            return result if positive else negate_dnf(result)
+        if op in ("xor", "neq") and _is_i1(ops[0]) and _is_i1(value):
+            a1 = build_dnf(ops[0], True, depth + 1, max_depth)
+            a0 = build_dnf(ops[0], False, depth + 1, max_depth)
+            b1 = build_dnf(ops[1], True, depth + 1, max_depth)
+            b0 = build_dnf(ops[1], False, depth + 1, max_depth)
+            result = _or_dnf(_and_dnf(a1, b0), _and_dnf(a0, b1))
+            return result if positive else negate_dnf(result)
+        if op == "eq" and _is_i1(ops[0]) and _is_i1(value):
+            a1 = build_dnf(ops[0], True, depth + 1, max_depth)
+            a0 = build_dnf(ops[0], False, depth + 1, max_depth)
+            b1 = build_dnf(ops[1], True, depth + 1, max_depth)
+            b0 = build_dnf(ops[1], False, depth + 1, max_depth)
+            result = _or_dnf(_and_dnf(a1, b1), _and_dnf(a0, b0))
+            return result if positive else negate_dnf(result)
+    return _atom(value, positive)
+
+
+def negate_dnf(dnf):
+    """De Morgan: negate a DNF, returning a DNF."""
+    # ¬(T1 ∨ T2 ∨ …) = ¬T1 ∧ ¬T2 ∧ … ; each ¬Ti is a disjunction of
+    # negated literals; multiply out.
+    result = TRUE
+    for term in dnf:
+        negated = frozenset(
+            frozenset({(key, value, not positive)})
+            for key, value, positive in term)
+        if not negated:
+            return FALSE  # term was TRUE
+        result = _and_dnf(result, frozenset(negated))
+    return simplify_dnf(result)
+
+
+def simplify_dnf(dnf):
+    """Drop absorbed terms (supersets of another term)."""
+    terms = sorted(dnf, key=len)
+    kept = []
+    for term in terms:
+        if any(prev <= term for prev in kept):
+            continue
+        kept.append(term)
+    return frozenset(kept)
+
+
+def literals(term):
+    """Iterate ``(value, positive)`` of one conjunction term."""
+    for _key, value, positive in term:
+        yield value, positive
+
+
+def terms(dnf):
+    """The conjunction terms of a DNF, deterministically ordered."""
+    return sorted(simplify_dnf(dnf),
+                  key=lambda t: sorted(k for k, _v, _p in t))
+
+
+def evaluate_dnf(dnf, assignment):
+    """Evaluate a DNF under ``{id(value): bool}`` (for property tests)."""
+    for term in dnf:
+        if all(assignment[key] == positive for key, _v, positive in term):
+            return True
+    return False

@@ -1,0 +1,117 @@
+"""Early Code Motion (ECM) — section 4.2.
+
+Eagerly moves instructions "up" the CFG into predecessor blocks to
+facilitate later control-flow elimination: constants move to the entry
+block, arithmetic moves to the earliest point where all operands are
+available, and ``prb`` hoists only within its temporal region — moving a
+probe across a ``wait`` would change which instant it samples (Figure 5b
+of the paper).
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import reverse_postorder
+from ..analysis.dominators import DominatorTree
+from ..analysis.temporal import TemporalRegions
+from ..ir.instructions import Instruction
+from ..ir.values import Argument, Block
+
+_MOVABLE = frozenset({
+    "const", "add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
+    "srem", "and", "or", "xor", "not", "neg", "shl", "shr", "eq", "neq",
+    "ult", "ugt", "ule", "uge", "slt", "sgt", "sle", "sge", "zext", "sext",
+    "trunc", "array", "struct", "insf", "extf", "inss", "exts", "mux",
+})
+
+
+def run(unit):
+    """Hoist instructions in one process/function; True if anything moved."""
+    if unit.is_entity:
+        return False
+    domtree = DominatorTree(unit)
+    regions = TemporalRegions(unit) if unit.is_process else None
+    changed = False
+    for block in reverse_postorder(unit):
+        for inst in list(block.instructions):
+            target = _hoist_target(inst, block, domtree, regions, unit)
+            if target is None or target is block:
+                continue
+            block.remove(inst)
+            index = len(target.instructions)
+            if target.terminator is not None:
+                index -= 1
+            target.insert(index, inst)
+            changed = True
+    return changed
+
+
+def _hoist_target(inst, block, domtree, regions, unit):
+    op = inst.opcode
+    if op == "prb":
+        if regions is None:
+            return None
+        # Hoist to the entry block of this instruction's temporal region:
+        # within a TR all probes observe the same instant.
+        tr = regions.region(block)
+        entry = regions.entry_block.get(tr)
+        if entry is not None and entry is not block \
+                and domtree.dominates(entry, block) \
+                and _operands_available(inst, entry, domtree):
+            return entry
+        return None
+    if op not in _MOVABLE:
+        return None
+    if op in ("udiv", "sdiv", "umod", "smod", "urem", "srem"):
+        # Division must not be speculated onto paths that guarded it:
+        # hoist only when the divisor is a non-zero constant.
+        divisor = inst.operands[1]
+        if not (isinstance(divisor, Instruction)
+                and divisor.opcode == "const"
+                and divisor.attrs["value"] != 0):
+            return None
+    if op == "const":
+        return unit.entry
+    # Deepest block (by dominator depth) among operand definitions that
+    # still dominates the current block.
+    target = unit.entry
+    for operand in inst.operands:
+        if isinstance(operand, (Argument, Block)):
+            continue
+        def_block = operand.parent
+        if def_block is None:
+            return None
+        if domtree.dominates(target, def_block):
+            target = def_block
+        elif not domtree.dominates(def_block, target):
+            return None  # incomparable definitions: leave in place
+    if not domtree.dominates(target, block):
+        return None
+    # A probe result must not be carried across a wait: if any transitive
+    # operand is a prb, the hoist target must stay within that prb's TR.
+    if regions is not None and not _same_region_ok(inst, target, regions):
+        return None
+    return target
+
+
+def _operands_available(inst, target, domtree):
+    for operand in inst.operands:
+        if isinstance(operand, (Argument, Block)):
+            continue
+        def_block = operand.parent
+        if def_block is None or not domtree.dominates(def_block, target):
+            return False
+    return True
+
+
+def _same_region_ok(inst, target, regions):
+    """Moving ``inst`` to ``target`` must not detach it from prb operands'
+    region: a value computed from a probe is only meaningful in the probe's
+    instant."""
+    for operand in inst.operands:
+        if isinstance(operand, Instruction) and operand.opcode == "prb":
+            if operand.parent is None:
+                return False
+            if regions.region_of.get(id(operand.parent)) != \
+                    regions.region_of.get(id(target)):
+                return False
+    return True

@@ -1,0 +1,99 @@
+"""Function call inlining — section 4.1.
+
+"To facilitate later transformations, all function calls are inlined at
+this point."  Calls to ``llhd.*`` intrinsics are kept; recursive calls
+cannot be inlined and are reported to the caller (the lowering pipeline
+rejects such processes).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import Builder
+from ..ir.units import UnitDecl
+from .clone import clone_blocks_into
+
+
+class InlineError(Exception):
+    """Raised when a call cannot be inlined (recursion, missing body)."""
+
+
+def inline_calls(unit, module, _stack=()):
+    """Inline every non-intrinsic call in ``unit``; returns #calls inlined."""
+    if unit.is_entity:
+        return 0
+    inlined = 0
+    progress = True
+    while progress:
+        progress = False
+        for block in list(unit.blocks):
+            call = next((i for i in block.instructions
+                         if i.opcode == "call"
+                         and not i.callee.startswith("llhd.")), None)
+            if call is None:
+                continue
+            callee = module.get(call.callee)
+            if callee is None or isinstance(callee, UnitDecl):
+                raise InlineError(
+                    f"@{unit.name}: cannot inline call to undefined "
+                    f"@{call.callee}")
+            if callee.name in _stack or callee is unit:
+                raise InlineError(
+                    f"@{unit.name}: recursive call to @{call.callee}")
+            # First make sure the callee itself is call-free.
+            inline_calls(callee, module, _stack + (unit.name,))
+            _inline_one(unit, block, call, callee)
+            inlined += 1
+            progress = True
+    return inlined
+
+
+def _inline_one(unit, block, call, callee):
+    # Split the caller block at the call site.
+    index = block.index_of(call)
+    continuation = unit.create_block((block.name or "bb") + ".cont")
+    tail = block.instructions[index + 1:]
+    del block.instructions[index + 1:]
+    for inst in tail:
+        inst.parent = continuation
+        continuation.instructions.append(inst)
+    # Phis in successors referencing `block` must now reference the
+    # continuation (control reaches them through it).
+    term = continuation.terminator
+    if term is not None:
+        for succ in continuation.successors():
+            for phi in succ.phis():
+                for i, (value, pred) in enumerate(phi.phi_pairs()):
+                    if pred is block:
+                        phi.set_operand(2 * i + 1, continuation)
+
+    # Clone the callee body, mapping its arguments to the call operands.
+    value_map = {}
+    for arg, operand in zip(callee.args, call.operands):
+        value_map[id(arg)] = operand
+    new_blocks = clone_blocks_into(
+        unit, callee.blocks, value_map, name_suffix=f".{callee.name}")
+
+    # Rewrite cloned rets into branches to the continuation.
+    returned = []
+    for new_block in new_blocks:
+        term = new_block.terminator
+        if term is not None and term.opcode == "ret":
+            value = term.operands[0] if term.operands else None
+            term.erase()
+            Builder.at_end(new_block).br(continuation)
+            if value is not None:
+                returned.append((value, new_block))
+
+    # Replace the call result.
+    if not call.type.is_void and returned:
+        if len(returned) == 1:
+            result = returned[0][0]
+        else:
+            result = Builder(continuation, 0).phi(returned)
+        call.replace_all_uses_with(result)
+    call.erase()
+    Builder.at_end(block).br(new_blocks[0])
+
+    # Keep block order readable: continuation after the inlined body.
+    unit.blocks.remove(continuation)
+    unit.blocks.append(continuation)

@@ -1,0 +1,159 @@
+"""Entity inlining and signal forwarding — the "Inline / IS" step that
+produces the final flattened @acc entity of Figure 5.
+
+``inline_entities`` splices instantiated entity bodies into the parent,
+binding port arguments to the connected signals.
+
+``forward_signals`` removes a local signal that has exactly one
+unconditional driver by forwarding the driven value to all probes.  This
+deliberately discards the drive delay — the synthesis-oriented view the
+paper's final Figure 5 form takes (the 2 ns combinational delay of %d
+disappears when @acc_comb is folded into the register's data input).  It
+is therefore NOT part of the simulation pipeline, only of the synthesis
+pipeline.
+
+``simplify_reg_feedback`` rewrites ``reg S, mux([prb S, v], c) rise clk``
+into ``reg S, v rise clk if c``: re-storing the current value is a no-op,
+so the multiplexer becomes a trigger condition (Figure 5k → the final
+``reg i32$ %q, %sum rise %clkp if %enp``).
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction
+from ..ir.units import UnitDecl
+from .clone import clone_instruction
+
+
+def inline_entities(module, parent, only=None):
+    """Inline entity instantiations inside ``parent``; returns how many.
+
+    ``only`` optionally restricts inlining to the named callees.
+    """
+    inlined = 0
+    progress = True
+    while progress:
+        progress = False
+        for inst in list(parent.body.instructions):
+            if inst.opcode != "inst":
+                continue
+            callee = module.get(inst.callee)
+            if callee is None or isinstance(callee, UnitDecl) \
+                    or not callee.is_entity or callee is parent:
+                continue
+            if only is not None and callee.name not in only:
+                continue
+            _inline_one(parent, inst, callee)
+            inlined += 1
+            progress = True
+    return inlined
+
+
+def _inline_one(parent, inst, callee):
+    value_map = {}
+    operands = inst.inst_inputs() + inst.inst_outputs()
+    for arg, operand in zip(callee.args, operands):
+        value_map[id(arg)] = operand
+    position = parent.body.index_of(inst)
+    for child_inst in callee.body.instructions:
+        clone = clone_instruction(child_inst, value_map)
+        parent.body.insert(position, clone)
+        position += 1
+    inst.erase()
+
+
+def forward_signals(entity):
+    """Forward single-driver local signals to their probes (drops delay).
+
+    Only signals created locally (``sig``), driven by exactly one
+    unconditional ``drv``, and used only by ``prb``/``drv``, are forwarded.
+    Returns the number of signals removed.
+    """
+    removed = 0
+    for inst in list(entity.body.instructions):
+        if inst.opcode != "sig":
+            continue
+        drives = []
+        probes = []
+        clean = True
+        for use in inst.uses:
+            user = use.user
+            if user.opcode == "drv" and use.index == 0:
+                drives.append(user)
+            elif user.opcode == "prb":
+                probes.append(user)
+            else:
+                clean = False
+                break
+        if not clean or len(drives) != 1:
+            continue
+        drive = drives[0]
+        if drive.drv_condition() is not None or drive.parent is not \
+                entity.body:
+            continue
+        value = drive.drv_value()
+        for probe in probes:
+            probe.replace_all_uses_with(value)
+            probe.erase()
+        drive.erase()
+        inst.erase()
+        removed += 1
+        _reorder_topologically(entity)
+    return removed
+
+
+def simplify_reg_feedback(entity):
+    """reg S, mux([prb S, v], c) ... -> reg S, v ... if c."""
+    changed = 0
+    for inst in entity.body.instructions:
+        if inst.opcode != "reg":
+            continue
+        signal = inst.reg_signal()
+        for t in inst.attrs["triggers"]:
+            value = inst.operands[t.value]
+            if not (isinstance(value, Instruction)
+                    and value.opcode == "mux"):
+                continue
+            arr, sel = value.operands
+            if not (isinstance(arr, Instruction) and arr.opcode == "array"
+                    and not arr.attrs.get("splat")
+                    and len(arr.operands) == 2):
+                continue
+            feedback, new_value = arr.operands
+            if not (isinstance(feedback, Instruction)
+                    and feedback.opcode == "prb"
+                    and feedback.operands[0] is signal):
+                continue
+            inst.set_operand(t.value, new_value)
+            if t.cond is not None:
+                existing = inst.operands[t.cond]
+                from ..ir.builder import Builder
+
+                builder = Builder.before(inst)
+                inst.set_operand(t.cond, builder.and_(existing, sel))
+            else:
+                t.cond = inst.add_operand(sel)
+            changed += 1
+    return changed
+
+
+def _reorder_topologically(entity):
+    """Restore defs-before-uses order in the entity body after rewiring."""
+    body = entity.body
+    placed = {id(a) for a in entity.args}
+    remaining = list(body.instructions)
+    ordered = []
+    while remaining:
+        progress = False
+        for inst in list(remaining):
+            if all(id(op) in placed or not isinstance(op, Instruction)
+                   or op.parent is not body for op in inst.operands):
+                ordered.append(inst)
+                placed.add(id(inst))
+                remaining.remove(inst)
+                progress = True
+        if not progress:
+            # Cycle through signals (legal in hardware): keep stable order.
+            ordered.extend(remaining)
+            break
+    body.instructions = ordered

@@ -1,0 +1,133 @@
+"""Instruction Simplification (IS) — section 4.1.
+
+A peephole pass reducing short instruction sequences to simpler forms,
+similar to LLVM's instruction combining: algebraic identities, redundant
+selections, double negations, and aggregate forwarding.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+
+
+def _const_of(value):
+    if isinstance(value, Instruction) and value.opcode == "const":
+        return value.attrs["value"]
+    return None
+
+
+def _all_ones(ty):
+    return (1 << ty.width) - 1
+
+
+def _simplify(inst):
+    """Return a replacement Value for ``inst``, or None."""
+    op = inst.opcode
+    ops = inst.operands
+    if op in ("add", "or", "xor", "sub", "shl", "shr"):
+        b = _const_of(ops[1]) if len(ops) > 1 else None
+        if b == 0:
+            return ops[0]
+        if op == "add" and _const_of(ops[0]) == 0:
+            return ops[1]
+        if op == "or" and _const_of(ops[0]) == 0:
+            return ops[1]
+        if op == "xor" and _const_of(ops[0]) == 0:
+            return ops[1]
+    if op == "sub" and ops[0] is ops[1] and inst.type.is_int:
+        return ("const", 0)
+    if op == "xor" and ops[0] is ops[1] and inst.type.is_int:
+        return ("const", 0)
+    if op == "mul":
+        for i in range(2):
+            c = _const_of(ops[i])
+            if c == 1:
+                return ops[1 - i]
+            if c == 0 and inst.type.is_int:
+                return ("const", 0)
+    if op == "udiv" and _const_of(ops[1]) == 1:
+        return ops[0]
+    if op == "and" and inst.type.is_int:
+        if ops[0] is ops[1]:
+            return ops[0]
+        for i in range(2):
+            c = _const_of(ops[i])
+            if c == 0:
+                return ("const", 0)
+            if c == _all_ones(inst.type):
+                return ops[1 - i]
+    if op == "or" and inst.type.is_int:
+        if ops[0] is ops[1]:
+            return ops[0]
+        for i in range(2):
+            c = _const_of(ops[i])
+            if c == _all_ones(inst.type):
+                return ("const", c)
+    if op == "not" and isinstance(ops[0], Instruction) \
+            and ops[0].opcode == "not":
+        return ops[0].operands[0]
+    if op == "neg" and isinstance(ops[0], Instruction) \
+            and ops[0].opcode == "neg":
+        return ops[0].operands[0]
+    if op == "eq" and ops[0] is ops[1]:
+        return ("const", 1)
+    if op in ("neq", "ult", "ugt", "slt", "sgt") and ops[0] is ops[1]:
+        return ("const", 0)
+    if op in ("ule", "uge", "sle", "sge") and ops[0] is ops[1]:
+        return ("const", 1)
+    if op == "mux":
+        arr = ops[0]
+        sel = _const_of(ops[1])
+        if isinstance(arr, Instruction) and arr.opcode == "array" \
+                and not arr.attrs.get("splat"):
+            elements = arr.operands
+            if sel is not None:
+                return elements[min(sel, len(elements) - 1)]
+            if all(e is elements[0] for e in elements):
+                return elements[0]
+        if isinstance(arr, Instruction) and arr.opcode == "array" \
+                and arr.attrs.get("splat"):
+            return arr.operands[0]
+    if op == "extf" and not inst.has_dynamic_index:
+        agg = ops[0]
+        index = inst.attrs["index"]
+        if isinstance(agg, Instruction) and agg.opcode == "array" \
+                and not agg.attrs.get("splat") and not agg.type.is_signal:
+            return agg.operands[index]
+        if isinstance(agg, Instruction) and agg.opcode == "struct":
+            return agg.operands[index]
+        if isinstance(agg, Instruction) and agg.opcode == "insf" \
+                and agg.attrs.get("index") == index:
+            return agg.operands[1]
+    if op == "phi":
+        values = {id(v) for v, _ in inst.phi_pairs()}
+        if len(values) == 1:
+            return inst.phi_pairs()[0][0]
+    if op in ("zext", "sext") and inst.type is ops[0].type:
+        return ops[0]
+    if op == "trunc" and inst.type is ops[0].type:
+        return ops[0]
+    return None
+
+
+def run(unit):
+    """Run IS to a fixpoint on one unit; returns True if anything changed."""
+    changed = False
+    again = True
+    while again:
+        again = False
+        for block in unit.blocks:
+            for inst in list(block.instructions):
+                result = _simplify(inst)
+                if result is None:
+                    continue
+                if isinstance(result, tuple):  # ("const", value)
+                    const = Instruction(
+                        "const", inst.type, (), {"value": result[1]})
+                    block.insert(block.index_of(inst), const)
+                    result = const
+                inst.replace_all_uses_with(result)
+                inst.erase()
+                changed = again = True
+    return changed

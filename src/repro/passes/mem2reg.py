@@ -1,0 +1,151 @@
+"""Memory-to-register promotion — section 2.5.8.
+
+Promotes ``var`` stack slots whose only uses are direct ``ld``/``st`` into
+SSA values with phi nodes, using the classic iterated-dominance-frontier
+phi placement [Cytron et al.].  The paper requires all stack and heap
+memory instructions to be promoted before lowering to Structural LLHD, as
+memory has no hardware equivalent.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dominators import DominatorTree
+from ..ir.instructions import Instruction
+
+
+def promotable_vars(unit):
+    """``var``/``alloc`` instructions used only by direct ld/st."""
+    out = []
+    for block in unit.blocks:
+        for inst in block.instructions:
+            if inst.opcode not in ("var", "alloc"):
+                continue
+            ok = True
+            for use in inst.uses:
+                user = use.user
+                if user.opcode == "ld":
+                    continue
+                if user.opcode == "st" and use.index == 0:
+                    continue
+                ok = False
+                break
+            if ok:
+                out.append(inst)
+    return out
+
+
+def run(unit):
+    """Promote all promotable vars in a CF unit; returns True if changed."""
+    if unit.is_entity:
+        return False
+    candidates = promotable_vars(unit)
+    if not candidates:
+        return False
+    domtree = DominatorTree(unit)
+    frontier = domtree.dominance_frontier()
+    reachable = {id(b) for b in domtree.order}
+
+    for var in candidates:
+        if id(var.parent) not in reachable:
+            continue
+        _promote(unit, var, domtree, frontier)
+    return True
+
+
+def _promote(unit, var, domtree, frontier):
+    # 1. Blocks containing a definition (st) — plus the var's own block,
+    #    whose init value acts as the initial store.
+    def_blocks = {id(var.parent): var.parent}
+    loads = []
+    stores = []
+    for use in list(var.uses):
+        user = use.user
+        if user.opcode == "ld":
+            loads.append(user)
+        else:
+            stores.append(user)
+            def_blocks[id(user.parent)] = user.parent
+
+    # 2. Phi placement at the iterated dominance frontier.
+    phis = {}  # id(block) -> phi instruction
+    worklist = list(def_blocks.values())
+    while worklist:
+        block = worklist.pop()
+        for df_block in frontier.get(id(block), []):
+            if id(df_block) in phis:
+                continue
+            phi = Instruction("phi", var.type.pointee, (), None,
+                              var.name)
+            df_block.insert(0, phi)
+            phis[id(df_block)] = phi
+            if id(df_block) not in def_blocks:
+                def_blocks[id(df_block)] = df_block
+                worklist.append(df_block)
+
+    # 3. Renaming walk over the dominator tree.
+    children = {id(b): [] for b in domtree.order}
+    for block in domtree.order:
+        idom = domtree.immediate_dominator(block)
+        if idom is not None:
+            children[id(idom)].append(block)
+
+    init_value = var.operands[0]
+    incoming = {}  # id(phi) -> [(value, pred_block)]
+
+    def rename(block, current):
+        phi = phis.get(id(block))
+        if phi is not None:
+            current = phi
+        for inst in list(block.instructions):
+            if inst is var:
+                current = init_value
+            elif inst.opcode == "ld" and inst.operands \
+                    and inst.operands[0] is var:
+                inst.replace_all_uses_with(current)
+                inst.erase()
+            elif inst.opcode == "st" and inst.operands \
+                    and inst.operands[0] is var:
+                current = inst.operands[1]
+                inst.erase()
+        for succ in block.successors():
+            succ_phi = phis.get(id(succ))
+            if succ_phi is not None:
+                incoming.setdefault(id(succ_phi), []).append(
+                    (current, block))
+        for child in children[id(block)]:
+            rename(child, current)
+
+    rename(domtree.order[0], init_value)
+
+    # 4. Wire up phi operands (deduplicate multi-edge predecessors).
+    for phi in phis.values():
+        seen = set()
+        for value, pred in incoming.get(id(phi), []):
+            if id(pred) in seen:
+                continue
+            seen.add(id(pred))
+            phi.add_operand(value if value is not None else init_value)
+            phi.add_operand(pred)
+
+    var.erase()
+
+    # 5. Prune phis that ended up trivial (single or self-referential).
+    _prune_trivial_phis(unit, set(phis.values()))
+
+
+def _prune_trivial_phis(unit, candidates):
+    again = True
+    while again:
+        again = False
+        for phi in list(candidates):
+            if phi.parent is None:
+                candidates.discard(phi)
+                continue
+            values = {id(v) for v, _ in phi.phi_pairs() if v is not phi}
+            if len(values) == 1:
+                replacement = next(v for v, _ in phi.phi_pairs()
+                                   if v is not phi)
+                phi.replace_all_uses_with(replacement)
+                phi.erase()
+                candidates.discard(phi)
+                again = True

@@ -1,0 +1,162 @@
+"""The behavioural → structural lowering pipeline (Figure 4, section 4).
+
+``lower_to_structural`` drives the full pass sequence of the paper:
+
+1. basic transformations: inline, unroll, mem2reg, CF/DCE/CSE/IS (§4.1),
+2. Early Code Motion (§4.2),
+3. Temporal Code Motion (§4.3),
+4. Total Control Flow Elimination (§4.4),
+5. Process Lowering (§4.5),
+6. Desequentialization (§4.6),
+
+and rejects processes that cannot be lowered (``LoweringRejection``), as a
+design containing them is not implementable in hardware.
+"""
+
+from __future__ import annotations
+
+from ..ir.dialects import STRUCTURAL
+from ..ir.verifier import verify_module
+from . import cf, cse, dce, deseq, ecm, instsimplify, mem2reg, tcfe, tcm
+from . import process_lowering, unroll
+from .inline import InlineError, inline_calls
+
+
+class LoweringRejection(Exception):
+    """A process cannot be lowered to Structural LLHD."""
+
+    def __init__(self, unit_name, reason):
+        self.unit_name = unit_name
+        self.reason = reason
+        super().__init__(f"@{unit_name}: {reason}")
+
+
+class LoweringReport:
+    """What the pipeline did: per-process outcome and statistics."""
+
+    def __init__(self):
+        self.lowered_by_pl = []
+        self.lowered_by_deseq = []
+        self.already_structural = []
+        self.removed_functions = []
+        self.rejected = []
+
+    def __repr__(self):
+        return (f"<LoweringReport pl={self.lowered_by_pl} "
+                f"deseq={self.lowered_by_deseq} rejected={self.rejected}>")
+
+
+def cleanup(unit):
+    """CF / DCE / CSE / IS to a fixpoint on one unit."""
+    while True:
+        changed = cf.run(unit)
+        changed |= instsimplify.run(unit)
+        changed |= cse.run(unit)
+        changed |= dce.run(unit)
+        if not changed:
+            return
+
+
+def lower_to_structural(module, strict=True, verify=True):
+    """Lower all processes in ``module`` to entities, in place.
+
+    With ``strict`` (default) a process that cannot be lowered raises
+    :class:`LoweringRejection`; otherwise it is recorded in the report and
+    left in the module (which will then not verify at the structural
+    level).
+    """
+    report = LoweringReport()
+    for entity in module.entities():
+        report.already_structural.append(entity.name)
+        cleanup(entity)
+
+    for proc in list(module.processes()):
+        try:
+            _prepare_process(proc, module)
+        except InlineError as error:
+            if strict:
+                raise LoweringRejection(proc.name, str(error)) from error
+            report.rejected.append((proc.name, str(error)))
+
+    # PL first (combinational), then Deseq (sequential), then PL again for
+    # any process Deseq normalized.
+    for proc in list(module.processes()):
+        if process_lowering.can_lower(proc):
+            process_lowering.lower_process(module, proc)
+            report.lowered_by_pl.append(proc.name)
+    for proc in list(module.processes()):
+        if deseq.desequentialize(module, proc) is not None:
+            report.lowered_by_deseq.append(proc.name)
+    for proc in list(module.processes()):
+        if process_lowering.can_lower(proc):
+            process_lowering.lower_process(module, proc)
+            report.lowered_by_pl.append(proc.name)
+
+    for proc in module.processes():
+        reason = _rejection_reason(proc)
+        if strict:
+            raise LoweringRejection(proc.name, reason)
+        report.rejected.append((proc.name, reason))
+
+    # Functions must be gone (all calls inlined); drop the unused ones.
+    for func in list(module.functions()):
+        if not _function_called(module, func):
+            module.remove(func.name)
+            report.removed_functions.append(func.name)
+        elif strict:
+            raise LoweringRejection(
+                func.name, "function still referenced after inlining")
+
+    for entity in module.entities():
+        cleanup(entity)
+
+    if verify and strict:
+        verify_module(module, level=STRUCTURAL)
+    return report
+
+
+def _prepare_process(proc, module):
+    """§4.1–§4.4 on one process."""
+    inline_calls(proc, module)
+    unroll.run(proc)
+    mem2reg.run(proc)
+    cleanup(proc)
+    ecm.run(proc)
+    cleanup(proc)
+    tcm.run(proc)
+    cleanup(proc)
+    tcfe.run(proc)
+    cleanup(proc)
+    # TCM/TCFE may expose more hoisting/threading opportunities.
+    ecm.run(proc)
+    tcfe.run(proc)
+    cleanup(proc)
+
+
+def _rejection_reason(proc):
+    from ..analysis.temporal import TemporalRegions
+
+    for inst in proc.instructions():
+        if inst.opcode in ("var", "ld", "st", "alloc", "free"):
+            return (f"'{inst.opcode}' remains after mem2reg — memory has "
+                    f"no hardware equivalent")
+        if inst.opcode == "call":
+            return f"call to @{inst.callee} remains"
+        if inst.opcode == "halt":
+            return "process halts — testbench code is not synthesizable"
+        if inst.opcode == "wait" and inst.wait_time() is not None:
+            return "wait with a timeout models physical time, not hardware"
+    trs = TemporalRegions(proc).count
+    if len(proc.blocks) > 2 or trs > 2:
+        return (f"{len(proc.blocks)} blocks / {trs} temporal regions "
+                f"remain after TCFE (neither combinational nor a "
+                f"recognizable register)")
+    return "process does not match a combinational or sequential pattern"
+
+
+def _function_called(module, func):
+    for unit in module:
+        for inst in unit.instructions():
+            if inst.opcode == "call" and inst.callee == func.name:
+                return True
+    return False

@@ -1,0 +1,120 @@
+"""Loop unrolling by compile-time evaluation — section 4.1.
+
+"To facilitate later transformations, all function calls are inlined and
+loops are unrolled at this point.  Where this is not possible, the process
+is rejected."
+
+Counted loops with pure bodies and constant inputs (the form produced by
+inlined functions and elaborated ``for`` loops) are *folded*: the loop is
+executed at compile time with the simulator's evaluation function, and all
+values escaping the loop are replaced by constants.  Loops with side
+effects or non-constant bounds are left alone — the structural lowering
+pipeline rejects such processes, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import Builder
+from ..ir.instructions import Instruction
+from ..sim.eval import evaluate
+from ..sim.values import SimulationError
+
+MAX_ITERATIONS = 100_000
+
+
+def run(unit):
+    """Fold all foldable single-block loops; returns number folded."""
+    if unit.is_entity:
+        return 0
+    folded = 0
+    progress = True
+    while progress:
+        progress = False
+        for block in list(unit.blocks):
+            if _fold_loop(unit, block):
+                folded += 1
+                progress = True
+                break
+    return folded
+
+
+def _fold_loop(unit, loop):
+    term = loop.terminator
+    if term is None or term.opcode != "br" or not term.is_conditional_branch:
+        return False
+    dest_false, dest_true = term.operands[1], term.operands[2]
+    if dest_true is loop and dest_false is not loop:
+        exit_block = dest_false
+        continue_on = True
+    elif dest_false is loop and dest_true is not loop:
+        exit_block = dest_true
+        continue_on = False
+    else:
+        return False
+    preds = [p for p in loop.predecessors() if p is not loop]
+    if len(preds) != 1:
+        return False
+    preheader = preds[0]
+
+    phis = loop.phis()
+    body = [i for i in loop.instructions if i.opcode != "phi" and
+            i is not term]
+    # Pure body only; constant initial values only.
+    env = {}
+    for phi in phis:
+        init = phi.phi_value_for(preheader)
+        if not (isinstance(init, Instruction) and init.opcode == "const"):
+            return False
+        env[id(phi)] = init.attrs["value"]
+    for inst in body:
+        if not inst.is_pure:
+            return False
+
+    def value_of(operand):
+        if id(operand) in env:
+            return env[id(operand)]
+        if isinstance(operand, Instruction) and operand.opcode == "const":
+            return operand.attrs["value"]
+        raise KeyError
+
+    # Compile-time execution.
+    iterations = 0
+    try:
+        while True:
+            iterations += 1
+            if iterations > MAX_ITERATIONS:
+                return False
+            for inst in body:
+                env[id(inst)] = evaluate(
+                    inst, [value_of(op) for op in inst.operands])
+            cond = value_of(term.branch_condition())
+            if bool(cond) != continue_on:
+                break
+            next_values = {}
+            for phi in phis:
+                next_values[id(phi)] = value_of(phi.phi_value_for(loop))
+            env.update(next_values)
+    except (KeyError, SimulationError):
+        return False
+
+    # Replace escaping values with constants in the preheader.
+    builder = Builder(preheader, len(preheader.instructions) - 1)
+    for inst in phis + body:
+        external = [u for u in list(inst.uses)
+                    if u.user.parent is not loop]
+        if not external:
+            continue
+        const = builder.insert(Instruction(
+            "const", inst.type, (), {"value": env[id(inst)]}, inst.name))
+        for use in external:
+            use.user.set_operand(use.index, const)
+
+    # Cut the back edge; DCE will clean the remains.
+    from ..analysis.cfg import rebuild_phi
+
+    term.erase()
+    Builder.at_end(loop).br(exit_block)
+    for phi in list(loop.phis()):
+        pairs = [(v, b) for v, b in phi.phi_pairs() if b is not loop]
+        rebuild_phi(phi, pairs)
+    return True

@@ -1,0 +1,80 @@
+"""Simulation of LLHD designs.
+
+Three simulators, as in the paper's evaluation (section 6.1):
+
+* ``interp`` — *LLHD-Sim*, the reference interpreter: deliberately the
+  simplest possible simulator of the instruction set.
+* ``blaze`` — the *LLHD-Blaze* analogue: compiles every unit to Python
+  code objects ahead of simulation (the paper JIT-compiles to LLVM IR).
+* ``cycle`` — an independently implemented, statically scheduled
+  compiled-code simulator standing in for the paper's commercial
+  simulator baseline (see DESIGN.md, substitution 1).
+
+All three produce :class:`~repro.sim.trace.Trace` objects that can be
+compared for equivalence — the paper's "traces match" claim.
+"""
+
+from __future__ import annotations
+
+from .engine import Kernel, SignalInstance, SignalRef, advance_time
+from .trace import Trace
+from .values import SimulationError, default_value
+
+BACKENDS = ("interp", "blaze", "cycle")
+
+
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    def __init__(self, design, kernel, trace):
+        self.design = design
+        self.kernel = kernel
+        self.trace = trace
+        self.assertion_failures = kernel.assertion_failures
+        self.output = kernel.output
+        self.stats = kernel.stats
+
+    @property
+    def final_time_fs(self):
+        return self.kernel.now[0]
+
+    def ok(self):
+        """True if no assertion failed during simulation."""
+        return not self.assertion_failures
+
+
+def simulate(module, top, until_fs=None, backend="interp",
+             trace_filter=None):
+    """Elaborate and simulate ``module`` from entity ``top``.
+
+    Returns a :class:`SimulationResult` whose trace records every signal
+    value change (filtered by ``trace_filter(signal) -> bool`` if given).
+    """
+    trace = Trace(trace_filter)
+    if backend == "interp":
+        from .interp import elaborate
+
+        kernel = Kernel(trace=trace)
+        design = elaborate(module, top, kernel)
+    elif backend == "blaze":
+        from .blaze import elaborate_compiled
+
+        kernel = Kernel(trace=trace)
+        design = elaborate_compiled(module, top, kernel)
+    elif backend == "cycle":
+        from .cycle import CycleKernel, elaborate_cycle
+
+        kernel = CycleKernel(trace=trace)
+        design = elaborate_cycle(module, top, kernel)
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    kernel.run(until_fs=until_fs)
+    trace.finalize()
+    return SimulationResult(design, kernel, trace)
+
+
+__all__ = [
+    "BACKENDS", "Kernel", "SignalInstance", "SignalRef", "SimulationError",
+    "SimulationResult", "Trace", "advance_time", "default_value", "simulate",
+]

@@ -1,0 +1,309 @@
+"""An independently implemented compiled-code simulator.
+
+This is the repository's stand-in for the *commercial simulator* column of
+the paper's Table 2 (see DESIGN.md, substitution 1).  Commercial
+simulators are compiled-code simulators with statically prepared
+scheduling; this module follows that architecture:
+
+* unit bodies are compiled to Python code (sharing the code generator with
+  :mod:`repro.sim.blaze` — the per-unit code is not where simulators
+  disagree);
+* the *scheduler* — calendar queue, delta rounds, transaction maturation,
+  sensitivity dispatch, net resolution — is a from-scratch second
+  implementation, structured as a per-femtosecond calendar of two-phase
+  (update, evaluate) rounds instead of the single global heap of
+  :mod:`repro.sim.engine`.
+
+Cross-checking its traces against LLHD-Sim and Blaze reproduces the
+paper's "traces match between the simulators" claim with an independent
+implementation in the loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..ir.ninevalued import LogicVec
+from ..ir.units import UnitDecl
+from .engine import SignalRef
+from .values import (
+    SimulationError, default_value, extract_path, insert_path,
+)
+
+
+def _advance(now, delay):
+    """Same visible semantics as engine.advance_time (zero -> next delta)."""
+    if delay.fs > 0:
+        return (now[0] + delay.fs, delay.delta, delay.epsilon)
+    if delay.delta > 0:
+        return (now[0], now[1] + delay.delta, delay.epsilon)
+    if delay.epsilon > 0:
+        return (now[0], now[1], now[2] + delay.epsilon)
+    return (now[0], now[1] + 1, 0)
+
+
+class CycleSignal:
+    """A signal net in the cycle simulator."""
+
+    __slots__ = ("name", "type", "value", "pending", "proc_waiters",
+                 "entity_waiters", "index", "_rep")
+
+    def __init__(self, name, type, value, index):
+        self.name = name
+        self.type = type
+        self.value = value
+        self.index = index
+        self.pending = {}
+        self.proc_waiters = {}
+        self.entity_waiters = {}
+        self._rep = None
+
+    def find(self):
+        sig = self
+        while sig._rep is not None:
+            sig = sig._rep
+        node = self
+        while node._rep is not None and node._rep is not sig:
+            node._rep, node = sig, node._rep
+        return sig
+
+    def connect(self, other):
+        a, b = self.find(), other.find()
+        if a is b:
+            return a
+        if b.index < a.index:
+            a, b = b, a
+        b._rep = a
+        a.pending.update(b.pending)
+        a.proc_waiters.update(b.proc_waiters)
+        a.entity_waiters.update(b.entity_waiters)
+        if isinstance(a.value, LogicVec) and isinstance(b.value, LogicVec):
+            a.value = a.value.resolve(b.value)
+        return a
+
+
+class _Round:
+    """One (delta, epsilon) round inside a femtosecond instant."""
+
+    __slots__ = ("signals", "resumes")
+
+    def __init__(self):
+        self.signals = {}   # id(signal) -> signal with matured work
+        self.resumes = []
+
+
+class _Instant:
+    """All rounds scheduled for one femtosecond."""
+
+    __slots__ = ("rounds", "keys", "queued")
+
+    def __init__(self):
+        self.rounds = {}
+        self.keys = []
+        self.queued = set()
+
+    def round_at(self, key):
+        rnd = self.rounds.get(key)
+        if rnd is None:
+            rnd = self.rounds[key] = _Round()
+            heapq.heappush(self.keys, key)
+        return rnd
+
+
+class CycleKernel:
+    """Calendar-queue scheduler with two-phase delta rounds.
+
+    Exposes the same interface as :class:`repro.sim.engine.Kernel` so
+    elaboration and compiled units plug in unchanged.
+    """
+
+    MAX_DELTAS = 10_000
+
+    def __init__(self, trace=None, max_time_fs=None):
+        self.now = (0, 0, 0)
+        self.trace = trace
+        self.max_time_fs = max_time_fs
+        self.signals = []
+        self.calendar = {}
+        self._fs_heap = []
+        self._initials = []
+        self.assertion_failures = []
+        self.output = []
+        self.finished = False
+        self.stats = {"deltas": 0, "events": 0, "activations": 0}
+
+    # -- construction (same surface as engine.Kernel) ------------------------
+
+    def create_signal(self, name, type, initial):
+        sig = CycleSignal(name, type, initial, len(self.signals))
+        self.signals.append(sig)
+        if self.trace is not None:
+            self.trace.record((0, 0, 0), sig, initial)
+        return sig
+
+    def _instant(self, fs):
+        instant = self.calendar.get(fs)
+        if instant is None:
+            instant = self.calendar[fs] = _Instant()
+            heapq.heappush(self._fs_heap, fs)
+        return instant
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule_drive(self, driver_key, target, value, delay):
+        if isinstance(target, SignalRef):
+            signal, path = target.signal.find(), target.path
+        else:
+            signal, path = target.find(), ()
+        when = _advance(self.now, delay)
+        timeline = signal.pending.setdefault(driver_key, [])
+        timeline[:] = [t for t in timeline if t[0] < when]
+        timeline.append((when, path, value))
+        rnd = self._instant(when[0]).round_at((when[1], when[2]))
+        rnd.signals[id(signal)] = signal
+
+    def schedule_resume(self, activity, delay):
+        when = _advance(self.now, delay)
+        rnd = self._instant(when[0]).round_at((when[1], when[2]))
+        rnd.resumes.append(activity)
+        return when
+
+    def schedule_initial(self, activity):
+        self._initials.append(activity)
+
+    def add_process_waiter(self, signal, activity):
+        signal.find().proc_waiters[id(activity)] = activity
+
+    def remove_process_waiter(self, signal, activity):
+        signal.find().proc_waiters.pop(id(activity), None)
+
+    def add_entity_waiter(self, signal, activity):
+        signal.find().entity_waiters[id(activity)] = activity
+
+    # -- probing & intrinsics ------------------------------------------------------
+
+    def probe(self, target):
+        if isinstance(target, SignalRef):
+            return extract_path(target.signal.find().value, target.path)
+        return target.find().value
+
+    def intrinsic(self, name, args, where=""):
+        if name in ("llhd.assert", "llhd.assert.msg"):
+            cond = args[0]
+            if isinstance(cond, LogicVec):
+                cond = int(cond.is_two_valued and cond.to_int() != 0)
+            if not cond:
+                message = args[1] if len(args) > 1 else ""
+                self.assertion_failures.append(
+                    f"assertion failed at {self.now[0]}fs {where} "
+                    f"{message}".strip())
+            return None
+        if name == "llhd.print":
+            from .values import format_value
+
+            self.output.append(" ".join(format_value(a) for a in args))
+            return None
+        if name == "llhd.finish":
+            self.finished = True
+            return None
+        raise SimulationError(f"unknown intrinsic @{name}")
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, until_fs=None):
+        limit = until_fs if until_fs is not None else self.max_time_fs
+        if self._initials:
+            rnd = self._instant(0).round_at((0, 0))
+            rnd.resumes[:0] = self._initials
+            self._initials = []
+        while self._fs_heap and not self.finished:
+            fs = heapq.heappop(self._fs_heap)
+            if limit is not None and fs > limit:
+                heapq.heappush(self._fs_heap, fs)
+                break
+            # Keep the instant registered while it runs: work scheduled
+            # for the *same* femtosecond during execution must extend the
+            # running instant (or the delta-limit accounting would reset).
+            instant = self.calendar[fs]
+            self._run_instant(fs, instant)
+            if not instant.keys:
+                del self.calendar[fs]
+        self.now = (self.now[0], 0, 0)
+
+    def _run_instant(self, fs, instant):
+        rounds = 0
+        while instant.keys and not self.finished:
+            key = heapq.heappop(instant.keys)
+            rnd = instant.rounds.pop(key)
+            rounds += 1
+            if rounds > self.MAX_DELTAS:
+                raise SimulationError(
+                    f"delta cycle limit exceeded at t={fs}fs "
+                    f"(combinational loop?)")
+            self.now = (fs, key[0], key[1])
+            self.stats["deltas"] += 1
+            # Phase 1: mature transactions, collect changed nets.
+            runnable = {}
+            for signal in rnd.signals.values():
+                self.stats["events"] += 1
+                if self._mature(signal.find(), self.now):
+                    net = signal.find()
+                    for activity in net.proc_waiters.values():
+                        runnable[id(activity)] = activity
+                    net.proc_waiters.clear()
+                    for activity in net.entity_waiters.values():
+                        runnable[id(activity)] = activity
+            for activity in rnd.resumes:
+                runnable[id(activity)] = activity
+            # Phase 2: evaluate in deterministic instance order.
+            for activity in sorted(runnable.values(), key=lambda a: a.order):
+                self.stats["activations"] += 1
+                activity.run(self)
+
+    def _mature(self, sig, now):
+        old = sig.value
+        new = old
+        due_all = []
+        for timeline in sig.pending.values():
+            due = [t for t in timeline if t[0] <= now]
+            if not due:
+                continue
+            timeline[:] = [t for t in timeline if t[0] > now]
+            due_all.append(due[-1])
+        due_all.sort(key=lambda t: len(t[1]))
+        resolved = None
+        for _, path, value in due_all:
+            if not path and isinstance(new, LogicVec) and \
+                    isinstance(value, LogicVec):
+                resolved = value if resolved is None \
+                    else resolved.resolve(value)
+                new = resolved
+            else:
+                new = insert_path(new, path, value)
+        if new == old:
+            return False
+        sig.value = new
+        if self.trace is not None:
+            self.trace.record(now, sig, new)
+        return True
+
+
+def elaborate_cycle(module, top, kernel=None, trace=None):
+    """Elaborate for the cycle simulator (compiled units, cycle kernel)."""
+    from .blaze import BlazeDesign, BlazeEntityInstance
+
+    if kernel is None:
+        kernel = CycleKernel(trace=trace)
+    unit = module.get(top)
+    if unit is None or isinstance(unit, UnitDecl):
+        raise SimulationError(f"top unit @{top} is not defined")
+    if not unit.is_entity:
+        raise SimulationError(f"top unit @{top} must be an entity")
+    design = BlazeDesign(module, unit, kernel)
+    ports = {}
+    for arg in unit.args:
+        sig = design.create_signal(
+            f"{top}.{arg.name}", arg.type, default_value(arg.type.element))
+        ports[id(arg)] = sig
+    BlazeEntityInstance(design, unit, top, ports)
+    return design

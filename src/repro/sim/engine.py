@@ -1,0 +1,313 @@
+"""Event-driven simulation kernel.
+
+The kernel is shared by the reference interpreter (LLHD-Sim) and the
+compiled simulator (the LLHD-Blaze analogue): both elaborate a design into
+:class:`SignalInstance` nets and executable activities, and both schedule
+work through this queue.  Time is the LLHD triple ``(femtoseconds, delta,
+epsilon)``:
+
+* physical femtoseconds advance real time;
+* *delta* steps order zero-time iterations (VHDL-style delta cycles);
+* *epsilon* steps order drive application inside one delta (used by
+  ``reg`` storage without an explicit delay).
+
+Driving uses the transport-delay model: each driver owns a pending
+transaction timeline per signal, and scheduling a transaction at time T
+cancels that driver's pending transactions at or after T.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..ir.ninevalued import LogicVec
+from .values import SimulationError, extract_path, insert_path
+
+ZERO_TIME = (0, 0, 0)
+
+
+def advance_time(now, delay):
+    """The time at which something scheduled ``delay`` after ``now`` occurs.
+
+    A zero delay means "next delta": nothing can happen within the current
+    instant, which is what makes zero-delay feedback loops well-defined.
+    """
+    if delay.fs > 0:
+        return (now[0] + delay.fs, delay.delta, delay.epsilon)
+    if delay.delta > 0:
+        return (now[0], now[1] + delay.delta, delay.epsilon)
+    if delay.epsilon > 0:
+        return (now[0], now[1], now[2] + delay.epsilon)
+    return (now[0], now[1] + 1, 0)
+
+
+class SignalInstance:
+    """One signal net at simulation time.
+
+    ``con`` connections merge nets through union-find: all operations go
+    through :meth:`find` so connected signals behave as one.
+    """
+
+    __slots__ = ("name", "type", "value", "pending", "proc_waiters",
+                 "entity_waiters", "index", "_rep", "initial")
+
+    def __init__(self, name, type, initial, index):
+        self.name = name
+        self.type = type
+        self.value = initial
+        self.initial = initial
+        self.index = index
+        self.pending = {}        # driver_key -> [(time, path, value), ...]
+        self.proc_waiters = {}   # id(activity) -> activity (one-shot)
+        self.entity_waiters = {}  # id(activity) -> activity (persistent)
+        self._rep = None
+
+    def find(self):
+        """The representative net (after ``con`` merging)."""
+        sig = self
+        while sig._rep is not None:
+            sig = sig._rep
+        # Path compression.
+        node = self
+        while node._rep is not None and node._rep is not sig:
+            node._rep, node = sig, node._rep
+        return sig
+
+    def connect(self, other):
+        """Merge this net with another (``con`` instruction)."""
+        a, b = self.find(), other.find()
+        if a is b:
+            return a
+        # Keep the lower-indexed signal as representative for determinism.
+        if b.index < a.index:
+            a, b = b, a
+        b._rep = a
+        a.pending.update(b.pending)
+        a.proc_waiters.update(b.proc_waiters)
+        a.entity_waiters.update(b.entity_waiters)
+        if isinstance(a.value, LogicVec) and isinstance(b.value, LogicVec):
+            a.value = a.value.resolve(b.value)
+        return a
+
+    def __repr__(self):
+        return f"<signal {self.name}: {self.type}>"
+
+
+class SignalRef:
+    """A projection into a signal: the result of extf/exts on a ``T$``."""
+
+    __slots__ = ("signal", "path", "type")
+
+    def __init__(self, signal, path, type):
+        self.signal = signal
+        self.path = tuple(path)
+        self.type = type
+
+    def project(self, step, type):
+        return SignalRef(self.signal, self.path + (step,), type)
+
+    def __repr__(self):
+        return f"<signal-ref {self.signal.name}{list(self.path)}>"
+
+
+def as_signal_ref(target):
+    """Normalize a SignalInstance or SignalRef to (signal, path)."""
+    if isinstance(target, SignalRef):
+        return target.signal.find(), target.path
+    return target.find(), ()
+
+
+class Kernel:
+    """The event queue and the simulation main loop.
+
+    Activities (process/entity instances) are objects with:
+
+    * ``run(kernel)`` — execute until suspension; schedule follow-up work
+      through kernel methods;
+    * ``order`` — an integer used to order same-delta execution
+      deterministically.
+    """
+
+    MAX_DELTAS = 10_000
+
+    def __init__(self, trace=None, max_time_fs=None):
+        self.now = ZERO_TIME
+        self.trace = trace
+        self.max_time_fs = max_time_fs
+        self.signals = []
+        self._heap = []
+        self._seq = 0
+        self._update_marks = set()   # (time, id(signal)) already queued
+        self._resume_marks = {}      # (time, id(activity)) -> activity
+        self.assertion_failures = []
+        self.output = []             # llhd.print output lines
+        self.finished = False
+        self.stats = {"deltas": 0, "events": 0, "activations": 0}
+
+    # -- construction -------------------------------------------------------
+
+    def create_signal(self, name, type, initial):
+        sig = SignalInstance(name, type, initial, len(self.signals))
+        self.signals.append(sig)
+        if self.trace is not None:
+            self.trace.record(ZERO_TIME, sig, initial)
+        return sig
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _push(self, time, kind, payload):
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+
+    def schedule_drive(self, driver_key, target, value, delay):
+        """Schedule a drive transaction (transport-delay semantics)."""
+        signal, path = as_signal_ref(target)
+        when = advance_time(self.now, delay)
+        timeline = signal.pending.setdefault(driver_key, [])
+        # Transport model: forget this driver's transactions at/after `when`.
+        timeline[:] = [t for t in timeline if t[0] < when]
+        timeline.append((when, path, value))
+        mark = (when, id(signal))
+        if mark not in self._update_marks:
+            self._update_marks.add(mark)
+            self._push(when, "update", signal)
+
+    def schedule_resume(self, activity, delay):
+        """Schedule an activity to run after ``delay`` (wait timeout)."""
+        when = advance_time(self.now, delay)
+        self._push(when, "resume", activity)
+        return when
+
+    def schedule_initial(self, activity):
+        """Schedule the initial execution of an activity at time zero."""
+        self._push(ZERO_TIME, "resume", activity)
+
+    # -- simulation loop -----------------------------------------------------------
+
+    def run(self, until_fs=None):
+        """Run until the queue drains, ``llhd.finish``, or the time limit."""
+        limit = until_fs if until_fs is not None else self.max_time_fs
+        deltas_at_fs = 0
+        current_fs = -1
+        while self._heap and not self.finished:
+            time = self._heap[0][0]
+            if limit is not None and time[0] > limit:
+                break
+            if time[0] != current_fs:
+                current_fs = time[0]
+                deltas_at_fs = 0
+            else:
+                deltas_at_fs += 1
+                if deltas_at_fs > self.MAX_DELTAS:
+                    raise SimulationError(
+                        f"delta cycle limit exceeded at t={current_fs}fs "
+                        f"(combinational loop?)")
+            self.now = time
+            self._step(time)
+        self.now = (self.now[0], 0, 0)
+
+    def _step(self, time):
+        """Process all events scheduled for exactly ``time``."""
+        updates = []
+        resumes = []
+        while self._heap and self._heap[0][0] == time:
+            _, _, kind, payload = heapq.heappop(self._heap)
+            self.stats["events"] += 1
+            if kind == "update":
+                updates.append(payload)
+            else:
+                resumes.append(payload)
+        runnable = {}
+        for signal in updates:
+            self._update_marks.discard((time, id(signal)))
+            changed = self._apply_transactions(signal, time)
+            if changed:
+                sig = signal.find()
+                for activity in sig.proc_waiters.values():
+                    runnable[id(activity)] = activity
+                sig.proc_waiters.clear()
+                for activity in sig.entity_waiters.values():
+                    runnable[id(activity)] = activity
+        for activity in resumes:
+            runnable[id(activity)] = activity
+        self.stats["deltas"] += 1
+        for activity in sorted(runnable.values(), key=lambda a: a.order):
+            self.stats["activations"] += 1
+            activity.run(self)
+
+    def _apply_transactions(self, signal, time):
+        """Mature due transactions on a net; True if the value changed."""
+        sig = signal.find()
+        old = sig.value
+        new = old
+        contributions = []
+        for timeline in sig.pending.values():
+            due = [t for t in timeline if t[0] <= time]
+            if not due:
+                continue
+            timeline[:] = [t for t in timeline if t[0] > time]
+            contributions.append(due[-1])
+        # Apply whole-signal drives first, then projected patches, so a
+        # same-instant patch of a slice wins over a whole-signal drive.
+        contributions.sort(key=lambda t: len(t[1]))
+        resolved_whole = None
+        for _, path, value in contributions:
+            if not path and isinstance(new, LogicVec) and \
+                    isinstance(value, LogicVec):
+                # Multiple whole-net drivers of an lN net resolve (IEEE 1164).
+                if resolved_whole is None:
+                    resolved_whole = value
+                else:
+                    resolved_whole = resolved_whole.resolve(value)
+                new = resolved_whole
+            else:
+                new = insert_path(new, path, value)
+        if new == old:
+            return False
+        sig.value = new
+        if self.trace is not None:
+            self.trace.record(time, sig, new)
+        return True
+
+    # -- waiting -----------------------------------------------------------------
+
+    def add_process_waiter(self, signal, activity):
+        sig = signal.find()
+        sig.proc_waiters[id(activity)] = activity
+
+    def remove_process_waiter(self, signal, activity):
+        sig = signal.find()
+        sig.proc_waiters.pop(id(activity), None)
+
+    def add_entity_waiter(self, signal, activity):
+        sig = signal.find()
+        sig.entity_waiters[id(activity)] = activity
+
+    # -- intrinsics ----------------------------------------------------------------
+
+    def intrinsic(self, name, args, where=""):
+        """Execute an ``llhd.*`` intrinsic call."""
+        if name in ("llhd.assert", "llhd.assert.msg"):
+            cond = args[0]
+            if isinstance(cond, LogicVec):
+                cond = int(cond.is_two_valued and cond.to_int() != 0)
+            if not cond:
+                message = args[1] if len(args) > 1 else ""
+                t = self.now
+                self.assertion_failures.append(
+                    f"assertion failed at {t[0]}fs {where} {message}".strip())
+            return None
+        if name == "llhd.print":
+            from .values import format_value
+
+            self.output.append(" ".join(format_value(a) for a in args))
+            return None
+        if name == "llhd.finish":
+            self.finished = True
+            return None
+        raise SimulationError(f"unknown intrinsic @{name}")
+
+    def probe(self, target):
+        """Read the current value of a signal or projection."""
+        signal, path = as_signal_ref(target)
+        return extract_path(signal.value, path)

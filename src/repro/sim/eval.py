@@ -1,0 +1,225 @@
+"""Evaluation of pure data-flow instructions.
+
+``evaluate(inst, operands)`` computes the result of one side-effect-free
+instruction from already-evaluated operand values.  It is shared by the
+reference interpreter, the compiled simulators, and the constant-folding
+pass (which runs it on constant operands at compile time), so all agree on
+arithmetic semantics by construction.
+
+Semantics notes:
+
+* ``iN`` arithmetic wraps modulo 2^N; division/modulo by zero raises
+  :class:`SimulationError`.
+* ``sdiv``/``srem`` truncate toward zero; ``smod`` follows the divisor's
+  sign (as in VHDL's mod/rem pair).
+* ``lN`` logic ops use the IEEE 1164 tables; arithmetic on ``lN`` degrades
+  to all-``X`` unless both operands are two-valued.
+* ``eq``/``neq`` on ``lN`` compare the X01-normalized bits.
+"""
+
+from __future__ import annotations
+
+from ..ir.ninevalued import LogicVec
+from .values import (
+    SimulationError, extract_path, from_signed, insert_path, mask, to_signed,
+)
+
+
+def _int_binary(op, a, b, width):
+    m = mask(width)
+    if op == "add":
+        return (a + b) & m
+    if op == "sub":
+        return (a - b) & m
+    if op == "mul":
+        return (a * b) & m
+    if op in ("udiv", "sdiv", "umod", "smod", "urem", "srem") and (
+            b == 0 or (op[0] == "s" and to_signed(b, width) == 0)):
+        raise SimulationError(f"{op}: division by zero")
+    if op == "udiv":
+        return a // b
+    if op == "umod" or op == "urem":
+        return a % b
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    if op == "sdiv":
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return from_signed(q, width)
+    if op == "srem":
+        r = abs(sa) % abs(sb)
+        if sa < 0:
+            r = -r
+        return from_signed(r, width)
+    if op == "smod":
+        return from_signed(sa - sb * (sa // sb), width)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    raise SimulationError(f"unknown integer op {op}")
+
+
+def _logic_binary(op, a, b):
+    if op == "and":
+        return a.and_(b)
+    if op == "or":
+        return a.or_(b)
+    if op == "xor":
+        return a.xor(b)
+    # Arithmetic on logic vectors: degrade to X unless two-valued.
+    if not (a.is_two_valued and b.is_two_valued):
+        return LogicVec.filled("X", a.width)
+    result = _int_binary(op, a.to_int(), b.to_int(), a.width)
+    return LogicVec.from_int(result, a.width)
+
+
+def _compare(op, a, b, inst):
+    ty = inst.operands[0].type
+    if ty.is_logic:
+        a_, b_ = a.to_x01(), b.to_x01()
+        if op == "eq":
+            return int(a_.bits == b_.bits and "X" not in a_.bits)
+        if op == "neq":
+            return int(a_.bits != b_.bits and "X" not in a_.bits
+                       and "X" not in b_.bits)
+        raise SimulationError(f"ordered comparison {op} on logic type")
+    if op == "eq":
+        return int(a == b)
+    if op == "neq":
+        return int(a != b)
+    width = ty.width
+    if op[0] == "u":
+        sa, sb = a, b
+    else:
+        sa, sb = to_signed(a, width), to_signed(b, width)
+    rel = op[1:]
+    if rel == "lt":
+        return int(sa < sb)
+    if rel == "gt":
+        return int(sa > sb)
+    if rel == "le":
+        return int(sa <= sb)
+    if rel == "ge":
+        return int(sa >= sb)
+    raise SimulationError(f"unknown comparison {op}")
+
+
+def path_of(inst):
+    """The projection path step for an extf/exts on a signal or pointer."""
+    if inst.opcode == "extf":
+        return ("field", inst.attrs["index"])
+    inner = inst.operands[0].type
+    if inner.is_signal:
+        inner = inner.element
+    elif inner.is_pointer:
+        inner = inner.pointee
+    if inner.is_int:
+        kind = "int"
+    elif inner.is_logic:
+        kind = "logic"
+    else:
+        kind = "array"
+    return ("slice", inst.attrs["offset"], inst.attrs["length"], kind)
+
+
+def evaluate(inst, operands):
+    """Evaluate one pure instruction; ``operands`` are runtime values."""
+    op = inst.opcode
+    if op == "const":
+        return inst.attrs["value"]
+    if op in ("add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
+              "srem", "and", "or", "xor"):
+        a, b = operands
+        if isinstance(a, LogicVec):
+            return _logic_binary(op, a, b)
+        return _int_binary(op, a, b, inst.type.width)
+    if op in ("eq", "neq", "ult", "ugt", "ule", "uge", "slt", "sgt", "sle",
+              "sge"):
+        return _compare(op, operands[0], operands[1], inst)
+    if op == "not":
+        a = operands[0]
+        if isinstance(a, LogicVec):
+            return a.not_()
+        return (~a) & mask(inst.type.width)
+    if op == "neg":
+        return (-operands[0]) & mask(inst.type.width)
+    if op == "shl":
+        a, amount = operands
+        if isinstance(a, LogicVec):
+            if not a.is_two_valued:
+                return LogicVec.filled("X", a.width)
+            return LogicVec.from_int(a.to_int() << amount, a.width)
+        return (a << amount) & mask(inst.type.width)
+    if op == "shr":
+        a, amount = operands
+        if isinstance(a, LogicVec):
+            if not a.is_two_valued:
+                return LogicVec.filled("X", a.width)
+            return LogicVec.from_int(a.to_int() >> amount, a.width)
+        return a >> amount
+    if op == "zext":
+        return operands[0]
+    if op == "sext":
+        src_width = inst.operands[0].type.width
+        return from_signed(to_signed(operands[0], src_width),
+                           inst.type.width)
+    if op == "trunc":
+        return operands[0] & mask(inst.type.width)
+    if op == "array":
+        if inst.attrs.get("splat"):
+            return tuple(operands[0] for _ in range(inst.type.length))
+        return tuple(operands)
+    if op == "struct":
+        return tuple(operands)
+    if op == "extf":
+        return _eval_extf(inst, operands)
+    if op == "insf":
+        return _eval_insf(inst, operands)
+    if op == "exts":
+        agg = operands[0]
+        return extract_path(agg, (path_of(inst),))
+    if op == "inss":
+        agg, value = operands
+        return insert_path(agg, (path_of(inst),), value)
+    if op == "mux":
+        choices, sel = operands
+        if isinstance(sel, LogicVec):
+            if not sel.is_two_valued:
+                raise SimulationError("mux selector is unknown (X)")
+            sel = sel.to_int()
+        index = min(sel, len(choices) - 1)
+        return choices[index]
+    raise SimulationError(f"evaluate: not a pure instruction: {op}")
+
+
+def _eval_extf(inst, operands):
+    agg = operands[0]
+    index = inst.attrs.get("index")
+    if index is None:
+        index = operands[1]
+        if isinstance(index, LogicVec):
+            if not index.is_two_valued:
+                raise SimulationError("extf index is unknown (X)")
+            index = index.to_int()
+    if not 0 <= index < len(agg):
+        raise SimulationError(
+            f"extf index {index} out of range for {len(agg)} elements")
+    return agg[index]
+
+
+def _eval_insf(inst, operands):
+    agg, value = operands[0], operands[1]
+    index = inst.attrs.get("index")
+    if index is None:
+        index = operands[2]
+        if isinstance(index, LogicVec):
+            if not index.is_two_valued:
+                raise SimulationError("insf index is unknown (X)")
+            index = index.to_int()
+    if not 0 <= index < len(agg):
+        raise SimulationError(
+            f"insf index {index} out of range for {len(agg)} elements")
+    return agg[:index] + (value,) + agg[index + 1:]

@@ -1,0 +1,119 @@
+"""Dominator tree: checked against brute-force path enumeration on random
+CFGs (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import DominatorTree, TemporalRegions, reverse_postorder
+from repro.ir import Builder, Function, int_type
+
+
+def _build_cfg(n_blocks, edges):
+    """A function whose CFG has the given edges (i -> [targets])."""
+    func = Function("f", [int_type(1)], ["c"], int_type(1))
+    blocks = [func.create_block(f"b{i}") for i in range(n_blocks)]
+    cond = None
+    for i, block in enumerate(blocks):
+        b = Builder.at_end(block)
+        targets = edges.get(i, [])
+        if not targets:
+            if cond is None:
+                cond = func.args[0]
+            b.ret(func.args[0])
+        elif len(targets) == 1:
+            b.br(blocks[targets[0]])
+        else:
+            b.br_cond(func.args[0], blocks[targets[0]],
+                      blocks[targets[1]])
+    return func, blocks
+
+
+def _all_paths_dominates(blocks, edges, a, b):
+    """Brute force: a dominates b iff every path entry->b passes a."""
+    if a == b:
+        return True
+    # DFS from entry avoiding `a`: if we can reach b, a does not dominate.
+    seen = {a}
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node == b:
+            return False
+        for succ in edges.get(node, []):
+            stack.append(succ)
+    return True
+
+
+@st.composite
+def random_cfg(draw):
+    n = draw(st.integers(2, 8))
+    edges = {}
+    for i in range(n):
+        fanout = draw(st.integers(0, 2))
+        if i < n - 1 and fanout == 0 and i == 0:
+            fanout = 1  # entry must reach something
+        targets = draw(st.lists(st.integers(0, n - 1), min_size=fanout,
+                                max_size=fanout, unique=True))
+        if targets:
+            edges[i] = targets
+    # Ensure all blocks have some chance of being reachable.
+    return n, edges
+
+
+@given(random_cfg())
+@settings(max_examples=60, deadline=None)
+def test_dominates_matches_bruteforce(cfg):
+    n, edges = cfg
+    func, blocks = _build_cfg(n, edges)
+    domtree = DominatorTree(func)
+    reachable = {i for i, b in enumerate(blocks)
+                 if any(o is b for o in domtree.order)}
+    for a in reachable:
+        for b in reachable:
+            expected = _all_paths_dominates(blocks, edges, a, b)
+            assert domtree.dominates(blocks[a], blocks[b]) == expected, \
+                (a, b, edges)
+
+
+@given(random_cfg())
+@settings(max_examples=40, deadline=None)
+def test_entry_dominates_everything_reachable(cfg):
+    n, edges = cfg
+    func, blocks = _build_cfg(n, edges)
+    domtree = DominatorTree(func)
+    for block in domtree.order:
+        assert domtree.dominates(blocks[0], block)
+
+
+@given(random_cfg())
+@settings(max_examples=40, deadline=None)
+def test_common_dominator_is_dominator_of_both(cfg):
+    n, edges = cfg
+    func, blocks = _build_cfg(n, edges)
+    domtree = DominatorTree(func)
+    order = domtree.order
+    for a in order:
+        for b in order:
+            common = domtree.common_dominator(a, b)
+            assert common is not None
+            assert domtree.dominates(common, a)
+            assert domtree.dominates(common, b)
+
+
+def test_diamond_dominators():
+    func, blocks = _build_cfg(4, {0: [1, 2], 1: [3], 2: [3]})
+    domtree = DominatorTree(func)
+    assert domtree.immediate_dominator(blocks[3]) is blocks[0]
+    assert domtree.immediate_dominator(blocks[1]) is blocks[0]
+    assert not domtree.dominates(blocks[1], blocks[3])
+
+
+def test_dominance_frontier_of_diamond():
+    func, blocks = _build_cfg(4, {0: [1, 2], 1: [3], 2: [3]})
+    domtree = DominatorTree(func)
+    frontier = domtree.dominance_frontier()
+    assert frontier[id(blocks[1])] == [blocks[3]]
+    assert frontier[id(blocks[2])] == [blocks[3]]
+    assert frontier[id(blocks[0])] == []

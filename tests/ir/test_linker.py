@@ -1,0 +1,97 @@
+"""Module linker: declaration resolution, duplicates, mismatches."""
+
+import pytest
+
+from repro.ir import link_modules, parse_module, print_module, verify_module
+from repro.ir.linker import LinkError
+
+
+def test_link_resolves_declaration():
+    user = parse_module("""
+    declare entity @adder (i8$, i8$) -> (i8$)
+    entity @top () -> () {
+      %z = const i8 0
+      %a = sig i8 %z
+      %b = sig i8 %z
+      %y = sig i8 %z
+      inst @adder (i8$ %a, i8$ %b) -> (i8$ %y)
+    }
+    """, name="user")
+    impl = parse_module("""
+    entity @adder (i8$ %a, i8$ %b) -> (i8$ %y) {
+      %ap = prb i8$ %a
+      %bp = prb i8$ %b
+      %sum = add i8 %ap, %bp
+      %t = const time 0s
+      drv i8$ %y, %sum after %t
+    }
+    """, name="impl")
+    linked = link_modules([user, impl])
+    verify_module(linked)
+    assert linked.get("adder").is_entity
+    assert "adder" not in linked.declarations
+
+
+def test_duplicate_definitions_rejected():
+    a = parse_module("func @f () void {\nentry:\n  ret\n}")
+    b = parse_module("func @f () void {\nentry:\n  ret\n}")
+    with pytest.raises(LinkError, match="duplicate"):
+        link_modules([a, b])
+
+
+def test_signature_mismatch_rejected():
+    user = parse_module("declare entity @x (i8$) -> ()")
+    impl = parse_module("""
+    entity @x (i16$ %a) -> () {
+      %ap = prb i16$ %a
+    }
+    """)
+    with pytest.raises(LinkError, match="input types"):
+        link_modules([user, impl])
+
+
+def test_unresolved_declaration_survives():
+    user = parse_module("declare func @ext (i8) i8")
+    linked = link_modules([user])
+    assert "ext" in linked.declarations
+
+
+def test_conflicting_declarations_rejected():
+    a = parse_module("declare func @ext (i8) i8")
+    b = parse_module("declare func @ext (i16) i8")
+    with pytest.raises(LinkError, match="conflicting"):
+        link_modules([a, b])
+
+
+def test_linked_module_simulates():
+    from repro.sim import simulate
+
+    dut = parse_module("""
+    entity @inverter (i1$ %a) -> (i1$ %y) {
+      %ap = prb i1$ %a
+      %n = not i1 %ap
+      %t = const time 1ns
+      drv i1$ %y, %n after %t
+    }
+    """)
+    tb = parse_module("""
+    declare entity @inverter (i1$) -> (i1$)
+    entity @top () -> () {
+      %z = const i1 0
+      %a = sig i1 %z
+      %y = sig i1 %z
+      inst @inverter (i1$ %a) -> (i1$ %y)
+      inst @stim () -> (i1$ %a)
+    }
+    proc @stim () -> (i1$ %a) {
+    entry:
+      %one = const i1 1
+      %t = const time 5ns
+      drv i1$ %a, %one after %t
+      halt
+    }
+    """)
+    linked = link_modules([tb, dut])
+    result = simulate(linked, "top")
+    assert result.trace.value_at("top.y", 2_000_000) == 1  # inverted 0
+    assert result.trace.value_at("top.y", 7_000_000) == 0  # inverted 1

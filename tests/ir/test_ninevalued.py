@@ -1,0 +1,137 @@
+"""Nine-valued logic: IEEE 1164 table properties (property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.ninevalued import (
+    LogicVec, VALUES, and_bits, not_bit, or_bits, resolve_bits,
+    resolve_many, xor_bits,
+)
+
+bit = st.sampled_from(VALUES)
+bits3 = st.tuples(bit, bit, bit)
+
+
+@given(bit, bit)
+def test_resolution_commutative(a, b):
+    assert resolve_bits(a, b) == resolve_bits(b, a)
+
+
+@given(bits3)
+def test_resolution_associative(abc):
+    a, b, c = abc
+    assert resolve_bits(resolve_bits(a, b), c) == \
+        resolve_bits(a, resolve_bits(b, c))
+
+
+@given(bit)
+def test_resolution_z_is_identity(a):
+    # Z is the identity of resolution — except for '-', which the IEEE
+    # 1164 table resolves to X against everything but U.
+    if a == "-":
+        assert resolve_bits(a, "Z") == "X"
+    else:
+        assert resolve_bits(a, "Z") == a
+    assert resolve_bits("Z", a) == resolve_bits(a, "Z")
+
+
+@given(bit)
+def test_resolution_idempotent(a):
+    # Idempotent for all values except '-' (IEEE 1164: '-'∥'-' = X).
+    expected = "X" if a == "-" else a
+    assert resolve_bits(a, a) == expected
+
+
+@given(bit)
+def test_u_dominates_resolution(a):
+    assert resolve_bits(a, "U") == "U"
+
+
+@given(bit, bit)
+def test_and_or_commutative(a, b):
+    assert and_bits(a, b) == and_bits(b, a)
+    assert or_bits(a, b) == or_bits(b, a)
+    assert xor_bits(a, b) == xor_bits(b, a)
+
+
+@given(bit)
+def test_and_identity_and_zero(a):
+    assert and_bits(a, "0") == "0"
+    assert or_bits(a, "1") == "1"
+
+
+def test_two_valued_subset_matches_boolean():
+    for a in "01":
+        for b in "01":
+            ia, ib = int(a), int(b)
+            assert and_bits(a, b) == str(ia & ib)
+            assert or_bits(a, b) == str(ia | ib)
+            assert xor_bits(a, b) == str(ia ^ ib)
+        assert not_bit(a) == str(1 - int(a))
+
+
+@given(bit, bit)
+def test_demorgan_on_x01_subset(a, b):
+    # ¬(a ∧ b) == ¬a ∨ ¬b holds after X01 normalization.
+    lhs = not_bit(and_bits(a, b))
+    rhs = or_bits(not_bit(a), not_bit(b))
+    from repro.ir.ninevalued import TO_X01
+
+    assert TO_X01[lhs] == TO_X01[rhs]
+
+
+# -- LogicVec ---------------------------------------------------------------
+
+vec_text = st.text(alphabet=VALUES, min_size=1, max_size=16)
+
+
+@given(vec_text)
+def test_vec_roundtrip_str(text):
+    assert str(LogicVec(text)) == text
+
+
+@given(st.integers(0, 2**16 - 1))
+def test_vec_int_roundtrip(value):
+    vec = LogicVec.from_int(value, 16)
+    assert vec.is_two_valued
+    assert vec.to_int() == value
+
+
+@given(vec_text)
+def test_vec_not_involution_on_01(text):
+    vec = LogicVec(text)
+    double = vec.not_().not_()
+    assert double.to_x01().bits == vec.to_x01().bits or \
+        not vec.is_two_valued
+
+
+@given(vec_text, vec_text)
+def test_vec_resolution_width_checked(a, b):
+    va, vb = LogicVec(a), LogicVec(b)
+    if va.width != vb.width:
+        with pytest.raises(ValueError):
+            va.resolve(vb)
+    else:
+        assert va.resolve(vb).width == va.width
+
+
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=5))
+def test_resolve_many_of_equal_drivers(values):
+    vecs = [LogicVec.from_int(values[0], 8) for _ in values]
+    assert resolve_many(vecs) == vecs[0]
+
+
+def test_vec_immutable():
+    vec = LogicVec("01")
+    with pytest.raises(AttributeError):
+        vec.bits = "10"
+
+
+def test_invalid_bit_rejected():
+    with pytest.raises(ValueError):
+        LogicVec("012")
+
+
+def test_empty_vec_rejected():
+    with pytest.raises(ValueError):
+        LogicVec("")

@@ -1,0 +1,81 @@
+"""Property: printer/parser round-trip on randomly generated functions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    Builder, Function, Module, int_type, parse_module, print_module,
+    verify_module,
+)
+from repro.ir.bitcode import read_module, write_module
+
+_BINOPS = ["add", "sub", "mul", "and", "or", "xor"]
+_CMPOPS = ["eq", "neq", "ult", "slt", "uge", "sge"]
+
+
+@st.composite
+def random_function(draw):
+    """A random straight-line function over i16 values."""
+    n_args = draw(st.integers(1, 4))
+    module = Module()
+    func = Function("f", [int_type(16)] * n_args,
+                    [f"a{i}" for i in range(n_args)], int_type(16))
+    module.add(func)
+    block = func.create_block("entry")
+    b = Builder.at_end(block)
+    values = list(func.args)
+    for _ in range(draw(st.integers(1, 12))):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            values.append(b.const_int(int_type(16),
+                                      draw(st.integers(0, 65535))))
+        elif kind == 1:
+            op = draw(st.sampled_from(_BINOPS))
+            x = draw(st.sampled_from(values))
+            y = draw(st.sampled_from(values))
+            values.append(b.binary(op, x, y))
+        elif kind == 2:
+            x = draw(st.sampled_from(values))
+            values.append(b.not_(x))
+        else:
+            x = draw(st.sampled_from(values))
+            values.append(b.zext(b.trunc(x, int_type(8)), int_type(16)))
+    b.ret(values[-1])
+    return module
+
+
+@given(random_function())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_roundtrip(module):
+    verify_module(module)
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    assert print_module(reparsed) == text
+
+
+@given(random_function())
+@settings(max_examples=40, deadline=None)
+def test_bitcode_roundtrip(module):
+    blob = write_module(module)
+    restored = read_module(blob)
+    assert print_module(restored) == print_module(module)
+
+
+@given(random_function(), st.lists(st.integers(0, 65535), min_size=4,
+                                   max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_function_semantics(module, args):
+    """Parse(print(f)) computes the same outputs as f."""
+    from repro.sim.interp import _FunctionInterpreter
+    from repro.sim.engine import Kernel
+    from repro.sim.interp import Design
+
+    def run(mod):
+        func = mod.get("f")
+        kernel = Kernel()
+        design = Design(mod, func, kernel)
+        interp = _FunctionInterpreter(design, kernel)
+        return interp.call("f", args[:len(func.args)])
+
+    reparsed = parse_module(print_module(module))
+    assert run(module) == run(reparsed)

@@ -1,0 +1,72 @@
+"""Type system: interning, widths, textual syntax."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    array_type, bit_width, enum_type, int_type, logic_type, parse_type_text,
+    pointer_type, signal_type, struct_type, time_type, void_type,
+)
+
+
+def test_interning_identity():
+    assert int_type(32) is int_type(32)
+    assert int_type(32) is not int_type(31)
+    assert signal_type(int_type(8)) is signal_type(int_type(8))
+    assert array_type(4, int_type(8)) is array_type(4, int_type(8))
+    assert struct_type([int_type(1), time_type()]) is \
+        struct_type([int_type(1), time_type()])
+
+
+@given(st.integers(1, 1 << 16))
+def test_int_width_roundtrip(width):
+    ty = int_type(width)
+    assert ty.width == width
+    assert str(ty) == f"i{width}"
+    assert parse_type_text(str(ty)) is ty
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(ValueError):
+        int_type(0)
+    with pytest.raises(ValueError):
+        logic_type(0)
+    with pytest.raises(ValueError):
+        enum_type(0)
+
+
+def test_signal_of_signal_rejected():
+    with pytest.raises(ValueError):
+        signal_type(signal_type(int_type(1)))
+    with pytest.raises(ValueError):
+        signal_type(pointer_type(int_type(1)))
+    with pytest.raises(ValueError):
+        signal_type(void_type())
+
+
+@pytest.mark.parametrize("text,width", [
+    ("i1", 1), ("i32", 32), ("l9", 9), ("n3", 2), ("time", 96),
+    ("[4 x i8]", 32), ("{i8, i24}", 32), ("i16$", 16), ("i16*", 16),
+    ("[2 x {i4, i4}]", 16),
+])
+def test_bit_width(text, width):
+    assert bit_width(parse_type_text(text)) == width
+
+
+@pytest.mark.parametrize("text", [
+    "void", "time", "i7", "n12", "l4", "i32*", "i32$", "[3 x i5]",
+    "{i1, i2, i3}", "[2 x [3 x i4]]", "{i8, {i4, i4}}*", "[4 x i1]$",
+])
+def test_syntax_roundtrip(text):
+    ty = parse_type_text(text)
+    assert str(ty) == text
+    assert parse_type_text(str(ty)) is ty
+
+
+def test_predicates():
+    assert int_type(4).is_int
+    assert signal_type(int_type(4)).is_signal
+    assert not int_type(4).is_signal
+    assert array_type(2, int_type(4)).is_aggregate
+    assert struct_type([int_type(4)]).is_aggregate
+    assert not int_type(4).is_aggregate

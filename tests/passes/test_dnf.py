@@ -1,0 +1,127 @@
+"""DNF canonicalization: correctness against brute-force truth tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import Builder, Function, int_type
+from repro.passes.dnf import (
+    FALSE, TRUE, build_dnf, evaluate_dnf, negate_dnf, simplify_dnf, terms,
+)
+
+
+def _make_atoms(n):
+    """n i1 function arguments to serve as opaque atoms."""
+    func = Function("f", [int_type(1)] * n, [f"a{i}" for i in range(n)],
+                    int_type(1))
+    block = func.create_block("entry")
+    return func, Builder.at_end(block), func.args
+
+
+class _ExprGen:
+    """Random boolean expression trees over the atoms, built as IR."""
+
+    def __init__(self, builder, atoms, rng):
+        self.b = builder
+        self.atoms = atoms
+        self.rng = rng
+
+    def gen(self, depth):
+        choice = self.rng.draw(st.integers(0, 5 if depth > 0 else 0))
+        if choice == 0:
+            return self.rng.draw(st.sampled_from(self.atoms))
+        if choice == 1:
+            return self.b.not_(self.gen(depth - 1))
+        a = self.gen(depth - 1)
+        b_ = self.gen(depth - 1)
+        if choice == 2:
+            return self.b.and_(a, b_)
+        if choice == 3:
+            return self.b.or_(a, b_)
+        if choice == 4:
+            return self.b.xor(a, b_)
+        return self.b.eq(a, b_)
+
+
+def _eval_ir(value, assignment):
+    """Ground-truth evaluation of the boolean IR expression."""
+    from repro.ir.instructions import Instruction
+
+    if not isinstance(value, Instruction):
+        return assignment[id(value)]
+    op = value.opcode
+    if op == "const":
+        return bool(value.attrs["value"])
+    ops = [_eval_ir(o, assignment) for o in value.operands]
+    if op == "and":
+        return ops[0] and ops[1]
+    if op == "or":
+        return ops[0] or ops[1]
+    if op == "xor" or op == "neq":
+        return ops[0] != ops[1]
+    if op == "eq":
+        return ops[0] == ops[1]
+    if op == "not":
+        return not ops[0]
+    raise AssertionError(op)
+
+
+@given(st.data())
+def test_dnf_matches_truth_table(data):
+    func, builder, atoms = _make_atoms(3)
+    expr = _ExprGen(builder, atoms, data).gen(3)
+    dnf = build_dnf(expr)
+    for values in itertools.product([False, True], repeat=3):
+        assignment = {id(a): v for a, v in zip(atoms, values)}
+        assert evaluate_dnf(dnf, assignment) == _eval_ir(expr, assignment)
+
+
+@given(st.data())
+def test_negation_complements(data):
+    func, builder, atoms = _make_atoms(3)
+    expr = _ExprGen(builder, atoms, data).gen(2)
+    dnf = build_dnf(expr)
+    negated = negate_dnf(dnf)
+    for values in itertools.product([False, True], repeat=3):
+        assignment = {id(a): v for a, v in zip(atoms, values)}
+        assert evaluate_dnf(negated, assignment) == \
+            (not evaluate_dnf(dnf, assignment))
+
+
+def test_posedge_pattern():
+    """The Figure 5 condition and(neq(clk0, clk1), clk1) canonicalizes to
+    the single term {¬clk0, clk1} — the rising edge."""
+    func, builder, (clk0, clk1, _) = _make_atoms(3)
+    chg = builder.neq(clk0, clk1)
+    posedge = builder.and_(chg, clk1)
+    dnf = build_dnf(posedge)
+    result = terms(dnf)
+    assert len(result) == 1
+    literals = {(v.name, p) for _k, v, p in result[0]}
+    assert literals == {("a0", False), ("a1", True)}
+
+
+def test_constants_fold():
+    func, builder, (a, _, _) = _make_atoms(3)
+    one = builder.const_int(int_type(1), 1)
+    zero = builder.const_int(int_type(1), 0)
+    assert build_dnf(one) == TRUE
+    assert build_dnf(zero) == FALSE
+    assert build_dnf(builder.and_(a, zero)) == FALSE
+    assert terms(build_dnf(builder.or_(a, one))) == [frozenset()]
+
+
+def test_contradictions_pruned():
+    func, builder, (a, _, _) = _make_atoms(3)
+    contradiction = builder.and_(a, builder.not_(a))
+    assert build_dnf(contradiction) == FALSE
+
+
+def test_absorption():
+    func, builder, (a, b, _) = _make_atoms(3)
+    # a ∨ (a ∧ b) simplifies to a.
+    redundant = builder.or_(a, builder.and_(a, b))
+    result = terms(build_dnf(redundant))
+    assert len(result) == 1
+    assert len(result[0]) == 1

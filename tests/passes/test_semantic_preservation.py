@@ -1,0 +1,153 @@
+"""Property test: the lowering pipeline preserves simulation semantics.
+
+Random combinational and sequential SystemVerilog designs are generated,
+compiled with Moore, lowered to Structural LLHD, and simulated before and
+after; the traces must agree on all ports.  This is the repository's
+strongest check on the §4 passes — any miscompilation in CF/CSE/IS, ECM,
+TCM, TCFE, PL, or Deseq shows up as a trace difference.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.moore import compile_sv
+from repro.passes import deseq, process_lowering
+from repro.passes.pipeline import _prepare_process
+from repro.sim import simulate
+
+_OPS = ["+", "-", "&", "|", "^"]
+
+
+@st.composite
+def comb_design(draw):
+    """A random combinational module: nested if/else over 8-bit signals."""
+    n_inputs = draw(st.integers(2, 4))
+    inputs = [f"a{i}" for i in range(n_inputs)]
+
+    def expr(depth):
+        if depth == 0 or draw(st.booleans()):
+            return draw(st.sampled_from(inputs))
+        op = draw(st.sampled_from(_OPS))
+        return f"({expr(depth - 1)} {op} {expr(depth - 1)})"
+
+    def stmt(depth):
+        if depth == 0:
+            return f"y = {expr(2)};"
+        cond = draw(st.sampled_from(inputs))
+        bit = draw(st.integers(0, 7))
+        inner = stmt(depth - 1)
+        if draw(st.booleans()):
+            return (f"if ({cond}[{bit}]) {inner} "
+                    f"else y = {expr(1)};")
+        return f"if ({cond}[{bit}]) {inner}"
+
+    body = f"y = {expr(2)};\n    " + stmt(draw(st.integers(0, 2)))
+    ports = ", ".join(f"input logic [7:0] {name}" for name in inputs)
+    design = f"""
+module dut ({ports}, output logic [7:0] y);
+  always_comb begin
+    {body}
+  end
+endmodule
+"""
+    stimulus = []
+    for step in range(draw(st.integers(2, 5))):
+        for name in inputs:
+            value = draw(st.integers(0, 255))
+            stimulus.append(f"    {name} = 8'd{value};")
+        stimulus.append("    #2ns;")
+    decls = "\n  ".join(f"logic [7:0] {name};" for name in inputs)
+    conns = ", ".join(f".{name}({name})" for name in inputs + ["y"])
+    tb = f"""
+module tb;
+  {decls}
+  logic [7:0] y;
+  dut d ({conns});
+  initial begin
+{chr(10).join(stimulus)}
+  end
+endmodule
+"""
+    return design + tb
+
+
+def _lower_dut_only(module):
+    for proc in list(module.processes()):
+        if proc.name.startswith("tb"):
+            continue
+        _prepare_process(proc, module)
+        if process_lowering.can_lower(proc):
+            process_lowering.lower_process(module, proc)
+        else:
+            assert deseq.desequentialize(module, proc) is not None, \
+                "generated design failed to lower"
+
+
+@given(comb_design())
+@settings(max_examples=25, deadline=None)
+def test_comb_lowering_preserves_traces(source):
+    behavioural = compile_sv(source)
+    lowered = compile_sv(source)
+    _lower_dut_only(lowered)
+    ref = simulate(behavioural, "tb")
+    low = simulate(lowered, "tb")
+    assert ref.trace.differences(low.trace, signals=["tb.y"]) == []
+
+
+@st.composite
+def seq_design(draw):
+    """A random registered datapath with enable/clear controls."""
+    op = draw(st.sampled_from(_OPS))
+    use_enable = draw(st.booleans())
+    use_clear = draw(st.booleans())
+    body = f"q <= q {op} x;"
+    if use_enable:
+        body = f"if (en) {body}"
+    if use_clear:
+        body = f"if (clr) q <= 8'd0; else begin {body} end"
+    design = f"""
+module dut (input clk, input en, input clr, input logic [7:0] x,
+            output logic [7:0] q);
+  always_ff @(posedge clk) begin
+    {body}
+  end
+endmodule
+"""
+    stim = []
+    for _ in range(draw(st.integers(3, 8))):
+        stim.append(f"    x = 8'd{draw(st.integers(0, 255))};")
+        stim.append(f"    en = 1'b{draw(st.integers(0, 1))};")
+        stim.append(f"    clr = 1'b{draw(st.integers(0, 1))};")
+        stim.append("    #1ns; clk = 1; #1ns; clk = 0;")
+    tb = f"""
+module tb;
+  logic clk, en, clr;
+  logic [7:0] x, q;
+  dut d (.clk(clk), .en(en), .clr(clr), .x(x), .q(q));
+  initial begin
+{chr(10).join(stim)}
+  end
+endmodule
+"""
+    return design + tb
+
+
+@given(seq_design())
+@settings(max_examples=25, deadline=None)
+def test_seq_lowering_preserves_traces(source):
+    behavioural = compile_sv(source)
+    lowered = compile_sv(source)
+    _lower_dut_only(lowered)
+    ref = simulate(behavioural, "tb")
+    low = simulate(lowered, "tb")
+    assert ref.trace.differences(low.trace, signals=["tb.q"]) == []
+
+
+@given(seq_design())
+@settings(max_examples=10, deadline=None)
+def test_seq_lowering_agrees_across_backends(source):
+    lowered = compile_sv(source)
+    _lower_dut_only(lowered)
+    interp = simulate(lowered, "tb")
+    blaze = simulate(lowered, "tb", backend="blaze")
+    assert interp.trace.differences(blaze.trace) == []

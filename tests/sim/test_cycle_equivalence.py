@@ -1,0 +1,30 @@
+"""The independent cycle simulator must agree with interpreter and Blaze."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.sim import simulate
+
+from .test_blaze_equivalence import (
+    ENTITY_DESIGN, PHI_AND_FUNCTION, TESTBENCH_WITH_LOOP,
+)
+
+
+@pytest.mark.parametrize("text,top", [
+    (TESTBENCH_WITH_LOOP, "top"),
+    (ENTITY_DESIGN, "top"),
+    (PHI_AND_FUNCTION, "top"),
+], ids=["loop-testbench", "reg-mux-entities", "phi-function"])
+def test_cycle_matches_interp(text, top):
+    module = parse_module(text)
+    interp = simulate(module, top, backend="interp")
+    cycle = simulate(module, top, backend="cycle")
+    assert interp.trace.differences(cycle.trace) == []
+
+
+def test_three_way_agreement():
+    module = parse_module(ENTITY_DESIGN)
+    traces = [simulate(module, "top", backend=b).trace
+              for b in ("interp", "blaze", "cycle")]
+    assert traces[0].differences(traces[1]) == []
+    assert traces[1].differences(traces[2]) == []

@@ -1,0 +1,153 @@
+"""Simulator failure modes: combinational loops, bad designs, limits."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.sim import SimulationError, simulate
+
+
+def test_zero_delay_feedback_loop_hits_delta_limit():
+    """An inverter driving itself with zero delay oscillates across
+    deltas; the kernel must detect it instead of hanging."""
+    module = parse_module("""
+    entity @osc () -> () {
+      %z = const i1 0
+      %s = sig i1 %z
+      %sp = prb i1$ %s
+      %n = not i1 %sp
+      %t = const time 0s
+      drv i1$ %s, %n after %t
+    }
+    """)
+    with pytest.raises(SimulationError, match="delta cycle limit"):
+        simulate(module, "osc")
+
+
+def test_delta_loop_detected_on_all_backends():
+    text = """
+    entity @osc () -> () {
+      %z = const i1 0
+      %s = sig i1 %z
+      %sp = prb i1$ %s
+      %n = not i1 %sp
+      %t = const time 0s
+      drv i1$ %s, %n after %t
+    }
+    """
+    for backend in ("interp", "blaze", "cycle"):
+        with pytest.raises(SimulationError, match="delta cycle limit"):
+            simulate(parse_module(text), "osc", backend=backend)
+
+
+def test_top_must_be_entity():
+    module = parse_module("""
+    proc @p () -> () {
+    entry:
+      halt
+    }
+    """)
+    with pytest.raises(SimulationError, match="must be an entity"):
+        simulate(module, "p")
+
+
+def test_undefined_top():
+    module = parse_module("entity @e () -> () {\n}")
+    with pytest.raises(SimulationError, match="not defined"):
+        simulate(module, "ghost")
+
+
+def test_until_fs_stops_simulation():
+    module = parse_module("""
+    entity @top () -> () {
+      %z = const i8 0
+      %s = sig i8 %z
+      inst @ticker () -> (i8$ %s)
+    }
+    proc @ticker () -> (i8$ %s) {
+    entry:
+      br %loop
+    loop:
+      %sp = prb i8$ %s
+      %one = const i8 1
+      %next = add i8 %sp, %one
+      %t = const time 10ns
+      drv i8$ %s, %next after %t
+      wait %loop for %t
+    }
+    """)
+    result = simulate(module, "top", until_fs=95_000_000)
+    assert result.final_time_fs <= 95_000_000
+    # ~9 increments in 95ns at 10ns period.
+    assert result.trace.history("top.s")[-1][1] in (9, 10)
+
+
+def test_llhd_finish_stops_simulation():
+    module = parse_module("""
+    entity @top () -> () {
+      %z = const i8 0
+      %s = sig i8 %z
+      inst @ticker () -> (i8$ %s)
+      inst @stopper () -> ()
+    }
+    proc @ticker () -> (i8$ %s) {
+    entry:
+      br %loop
+    loop:
+      %sp = prb i8$ %s
+      %one = const i8 1
+      %next = add i8 %sp, %one
+      %t = const time 1ns
+      drv i8$ %s, %next after %t
+      wait %loop for %t
+    }
+    proc @stopper () -> () {
+    entry:
+      %t = const time 5ns
+      wait %stop for %t
+    stop:
+      call void @llhd.finish ()
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    assert result.kernel.finished
+    assert result.final_time_fs <= 6_000_000
+
+
+def test_extf_out_of_range_raises():
+    module = parse_module("""
+    entity @top () -> () {
+      inst @bad () -> ()
+    }
+    proc @bad () -> () {
+    entry:
+      %z = const i8 0
+      %arr = [4 x i8 %z]
+      %idx = const i8 9
+      %v = extf i8, [4 x i8] %arr, %idx
+      halt
+    }
+    """)
+    with pytest.raises(SimulationError, match="out of range"):
+        simulate(module, "top")
+
+
+def test_max_function_steps_guard():
+    module = parse_module("""
+    func @forever () void {
+    entry:
+      br %loop
+    loop:
+      br %loop
+    }
+    entity @top () -> () {
+      inst @caller () -> ()
+    }
+    proc @caller () -> () {
+    entry:
+      call void @forever ()
+      halt
+    }
+    """)
+    with pytest.raises(SimulationError, match="exceeded"):
+        simulate(module, "top")

@@ -1,0 +1,290 @@
+"""Interpreter basics: drives, delta cycles, waits, entities, registers."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.sim import SimulationError, simulate
+
+
+def test_process_drives_signal_with_delay():
+    module = parse_module("""
+    entity @top () -> () {
+      %zero = const i8 0
+      %s = sig i8 %zero
+      inst @driver () -> (i8$ %s)
+    }
+    proc @driver () -> (i8$ %s) {
+    entry:
+      %v = const i8 42
+      %t = const time 3ns
+      drv i8$ %s, %v after %t
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    history = result.trace.history("top.s")
+    assert history == [(0, 0), (3_000_000, 42)]
+
+
+def test_zero_delay_drive_lands_next_delta_same_fs():
+    module = parse_module("""
+    entity @top () -> () {
+      %zero = const i8 0
+      %s = sig i8 %zero
+      inst @driver () -> (i8$ %s)
+    }
+    proc @driver () -> (i8$ %s) {
+    entry:
+      %v = const i8 7
+      %t = const time 0s
+      drv i8$ %s, %v after %t
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    # The trace collapses intra-instant deltas: fs=0 ends with value 7.
+    assert result.trace.history("top.s") == [(0, 7)]
+    assert result.trace.value_at("top.s", 0) == 7
+
+
+def test_transport_delay_cancels_later_pending():
+    # Drive 1 at 5ns then (still at t=0) drive 2 at 3ns: the 3ns transaction
+    # cancels the pending 5ns one (transport-delay model).
+    module = parse_module("""
+    entity @top () -> () {
+      %zero = const i8 0
+      %s = sig i8 %zero
+      inst @driver () -> (i8$ %s)
+    }
+    proc @driver () -> (i8$ %s) {
+    entry:
+      %one = const i8 1
+      %two = const i8 2
+      %t5 = const time 5ns
+      %t3 = const time 3ns
+      drv i8$ %s, %one after %t5
+      drv i8$ %s, %two after %t3
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    assert result.trace.history("top.s") == [(0, 0), (3_000_000, 2)]
+
+
+def test_two_scheduled_edges_both_apply():
+    # Figure 2 pattern: clk <= 1 after 1ns; clk <= 0 after 2ns.
+    module = parse_module("""
+    entity @top () -> () {
+      %zero = const i1 0
+      %clk = sig i1 %zero
+      inst @driver () -> (i1$ %clk)
+    }
+    proc @driver () -> (i1$ %clk) {
+    entry:
+      %b0 = const i1 0
+      %b1 = const i1 1
+      %t1 = const time 1ns
+      %t2 = const time 2ns
+      drv i1$ %clk, %b1 after %t1
+      drv i1$ %clk, %b0 after %t2
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    assert result.trace.history("top.clk") == [
+        (0, 0), (1_000_000, 1), (2_000_000, 0)]
+
+
+def test_wait_timeout_resumes_process():
+    module = parse_module("""
+    entity @top () -> () {
+      %zero = const i8 0
+      %s = sig i8 %zero
+      inst @driver () -> (i8$ %s)
+    }
+    proc @driver () -> (i8$ %s) {
+    entry:
+      %t = const time 4ns
+      %v1 = const i8 1
+      %v2 = const i8 2
+      %zt = const time 0s
+      drv i8$ %s, %v1 after %zt
+      wait %after for %t
+    after:
+      drv i8$ %s, %v2 after %zt
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    assert result.trace.history("top.s") == [(0, 1), (4_000_000, 2)]
+
+
+def test_wait_on_signal_change_wakes_process():
+    module = parse_module("""
+    entity @top () -> () {
+      %zero = const i8 0
+      %a = sig i8 %zero
+      %b = sig i8 %zero
+      inst @producer () -> (i8$ %a)
+      inst @follower (i8$ %a) -> (i8$ %b)
+    }
+    proc @producer () -> (i8$ %a) {
+    entry:
+      %v = const i8 9
+      %t = const time 5ns
+      drv i8$ %a, %v after %t
+      halt
+    }
+    proc @follower (i8$ %a) -> (i8$ %b) {
+    entry:
+      wait %woke for %a
+    woke:
+      %ap = prb i8$ %a
+      %zt = const time 0s
+      drv i8$ %b, %ap after %zt
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    assert result.trace.value_at("top.b", 5_000_000) == 9
+
+
+def test_entity_reg_rising_edge():
+    """The Figure 5 structural accumulator: reg stores on posedge."""
+    module = parse_module("""
+    entity @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+      %delay = const time 1ns
+      %clkp = prb i1$ %clk
+      %dp = prb i32$ %d
+      reg i32$ %q, %dp rise %clkp after %delay
+    }
+    entity @top () -> () {
+      %zero1 = const i1 0
+      %zero32 = const i32 0
+      %clk = sig i1 %zero1
+      %d = sig i32 %zero32
+      %q = sig i32 %zero32
+      inst @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q)
+      inst @stim () -> (i1$ %clk, i32$ %d)
+    }
+    proc @stim () -> (i1$ %clk, i32$ %d) {
+    entry:
+      %b0 = const i1 0
+      %b1 = const i1 1
+      %v = const i32 77
+      %t2 = const time 2ns
+      %t4 = const time 4ns
+      %t6 = const time 6ns
+      drv i32$ %d, %v after %t2
+      drv i1$ %clk, %b1 after %t4
+      drv i1$ %clk, %b0 after %t6
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    # Posedge at 4ns stores d=77, visible on q after the 1ns reg delay.
+    assert result.trace.value_at("top.q", 3_999_999) == 0
+    assert result.trace.value_at("top.q", 5_000_000) == 77
+
+
+def test_entity_combinational_mux():
+    """Figure 5 @acc_comb as an entity: drv re-fires when inputs change."""
+    module = parse_module("""
+    entity @comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+      %qp = prb i32$ %q
+      %xp = prb i32$ %x
+      %enp = prb i1$ %en
+      %sum = add i32 %qp, %xp
+      %delay = const time 2ns
+      %dns = [i32 %qp, %sum]
+      %dn = mux i32 %dns, %enp
+      drv i32$ %d, %dn after %delay
+    }
+    entity @top () -> () {
+      %z32 = const i32 0
+      %z1 = const i1 0
+      %q = sig i32 %z32
+      %x = sig i32 %z32
+      %en = sig i1 %z1
+      %d = sig i32 %z32
+      inst @comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d)
+      inst @stim () -> (i32$ %q, i32$ %x, i1$ %en)
+    }
+    proc @stim () -> (i32$ %q, i32$ %x, i1$ %en) {
+    entry:
+      %five = const i32 5
+      %three = const i32 3
+      %b1 = const i1 1
+      %t1 = const time 1ns
+      %t5 = const time 5ns
+      drv i32$ %q, %five after %t1
+      drv i32$ %x, %three after %t1
+      drv i1$ %en, %b1 after %t5
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    # en=0: d follows q (after 2ns comb delay).
+    assert result.trace.value_at("top.d", 3_000_000) == 5
+    # en=1 at 5ns: d becomes q+x at 7ns.
+    assert result.trace.value_at("top.d", 7_000_000) == 8
+
+
+def test_assertion_failure_is_recorded():
+    module = parse_module("""
+    entity @top () -> () {
+      inst @checker () -> ()
+    }
+    proc @checker () -> () {
+    entry:
+      %zero = const i1 0
+      call void @llhd.assert (i1 %zero)
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    assert not result.ok()
+    assert "assertion failed" in result.assertion_failures[0]
+
+
+def test_function_call_from_process():
+    module = parse_module("""
+    func @double (i32 %x) i32 {
+    entry:
+      %two = const i32 2
+      %r = mul i32 %x, %two
+      ret i32 %r
+    }
+    entity @top () -> () {
+      %zero = const i32 0
+      %s = sig i32 %zero
+      inst @driver () -> (i32$ %s)
+    }
+    proc @driver () -> (i32$ %s) {
+    entry:
+      %v = const i32 21
+      %r = call i32 @double (i32 %v)
+      %t = const time 1ns
+      drv i32$ %s, %r after %t
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    assert result.trace.value_at("top.s", 1_000_000) == 42
+
+
+def test_division_by_zero_raises():
+    module = parse_module("""
+    entity @top () -> () {
+      inst @bad () -> ()
+    }
+    proc @bad () -> () {
+    entry:
+      %zero = const i32 0
+      %one = const i32 1
+      %r = div i32 %one, %zero
+      halt
+    }
+    """)
+    with pytest.raises(SimulationError, match="division by zero"):
+        simulate(module, "top")

@@ -1,0 +1,97 @@
+"""Time model: (fs, delta, epsilon) ordering and scheduling semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import TimeValue
+from repro.sim import advance_time
+
+times = st.tuples(st.integers(0, 10**9), st.integers(0, 5),
+                  st.integers(0, 5))
+delays = st.builds(TimeValue, st.integers(0, 10**6), st.integers(0, 3),
+                   st.integers(0, 3))
+
+
+@given(times, delays)
+def test_advance_never_goes_backwards(now, delay):
+    assert advance_time(now, delay) > now
+
+
+@given(times)
+def test_zero_delay_is_next_delta(now):
+    result = advance_time(now, TimeValue(0))
+    assert result == (now[0], now[1] + 1, 0)
+
+
+@given(times)
+def test_physical_delay_resets_delta(now):
+    result = advance_time(now, TimeValue(1000))
+    assert result == (now[0] + 1000, 0, 0)
+
+
+@given(times)
+def test_epsilon_stays_in_delta(now):
+    result = advance_time(now, TimeValue(0, 0, 1))
+    assert result[0] == now[0]
+    assert result[1] == now[1]
+    assert result[2] == now[2] + 1
+
+
+def test_time_parse_units():
+    assert TimeValue.parse("1ns").fs == 1_000_000
+    assert TimeValue.parse("2us").fs == 2_000_000_000
+    assert TimeValue.parse("1.5ns").fs == 1_500_000
+    assert TimeValue.parse("3ps").fs == 3_000
+    assert TimeValue.parse("0s").fs == 0
+
+
+def test_time_format_minimal_unit():
+    assert str(TimeValue(2_000_000)) == "2ns"
+    assert str(TimeValue(1_500_000)) == "1500ps"
+    assert str(TimeValue(0)) == "0s"
+    assert str(TimeValue(0, 1, 0)) == "0s 1d"
+    assert str(TimeValue(0, 1, 2)) == "0s 1d 2e"
+
+
+@given(st.integers(0, 10**15))
+def test_format_parse_roundtrip(fs):
+    from repro.ir.values import format_fs
+
+    assert TimeValue.parse(format_fs(fs)).fs == fs
+
+
+def test_delta_cycles_order_drives():
+    """Two zero-delay drives chained through processes settle in
+    successive deltas of the same femtosecond."""
+    from repro.ir import parse_module
+    from repro.sim import simulate
+
+    module = parse_module("""
+    entity @top () -> () {
+      %z = const i8 0
+      %a = sig i8 %z
+      %b = sig i8 %z
+      inst @first () -> (i8$ %a)
+      inst @second (i8$ %a) -> (i8$ %b)
+    }
+    proc @first () -> (i8$ %a) {
+    entry:
+      %v = const i8 5
+      %t = const time 0s
+      drv i8$ %a, %v after %t
+      halt
+    }
+    proc @second (i8$ %a) -> (i8$ %b) {
+    entry:
+      wait %woke for %a
+    woke:
+      %ap = prb i8$ %a
+      %t = const time 0s
+      drv i8$ %b, %ap after %t
+      halt
+    }
+    """)
+    result = simulate(module, "top")
+    # All at fs=0, across delta cycles.
+    assert result.trace.value_at("top.a", 0) == 5
+    assert result.trace.value_at("top.b", 0) == 5
+    assert result.final_time_fs == 0
