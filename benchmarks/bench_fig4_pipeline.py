@@ -98,3 +98,21 @@ def test_print_figure4_summary(capsys):
         print("-" * (sum(widths) + 2 * len(widths)))
         for row in rows:
             print(format_row(row, widths))
+
+
+def test_print_pass_instrumentation(capsys):
+    """Per-pass wall time / changed counts over all designs, through one
+    shared PassManager (the `-stats` view of `python -m repro.opt`)."""
+    from repro.passes import PassManager, format_statistics
+
+    pm = PassManager()
+    for name, source in sorted(SYNTHESIZABLE.items()):
+        module = compile_sv(source)
+        lower_to_structural(module, pm=pm)
+    records = list(pm.records.values())
+    assert records, "the lowering must run passes"
+    assert pm.am.hits > 0, "analysis caching must get hits on this corpus"
+    with capsys.disabled():
+        print()
+        print("Figure 4 — per-pass instrumentation (all designs)")
+        print(format_statistics(records, pm.am))

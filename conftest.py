@@ -1,0 +1,13 @@
+"""Root conftest: make ``src/`` importable without an install.
+
+With this, ``python -m pytest`` works from a fresh checkout — no
+``PYTHONPATH=src`` and no ``pip install -e .`` required (both still
+work).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

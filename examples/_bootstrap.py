@@ -1,0 +1,13 @@
+"""Make ``repro`` importable when running examples from a checkout.
+
+``import _bootstrap`` at the top of an example prepends the repository's
+``src/`` directory to ``sys.path`` unless ``repro`` is already installed
+(e.g. via ``pip install -e .``).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))

@@ -15,6 +15,8 @@ two-cycle pipeline latency (see DESIGN.md).
 Run: ``python examples/accumulator_testbench.py``
 """
 
+import _bootstrap  # noqa: F401  (src/ path setup for uninstalled checkouts)
+
 from repro.ir import print_module, verify_module
 from repro.moore import compile_sv
 from repro.passes import deseq, process_lowering

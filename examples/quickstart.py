@@ -9,6 +9,8 @@ value trace of the accumulator output.
 Run: ``python examples/quickstart.py``
 """
 
+import _bootstrap  # noqa: F401  (src/ path setup for uninstalled checkouts)
+
 from repro.ir import (
     Builder, Entity, Module, Process, TimeValue, int_type, print_module,
     signal_type, verify_module,

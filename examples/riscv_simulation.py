@@ -11,6 +11,8 @@ Table 2 experiment.
 Run: ``python examples/riscv_simulation.py``
 """
 
+import _bootstrap  # noqa: F401  (src/ path setup for uninstalled checkouts)
+
 import time
 
 from repro.designs import DESIGNS, compile_design

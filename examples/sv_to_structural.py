@@ -7,6 +7,8 @@ SystemVerilog ──Moore──▶ Behavioural LLHD ──§4 passes──▶ St
 Run: ``python examples/sv_to_structural.py``
 """
 
+import _bootstrap  # noqa: F401  (src/ path setup for uninstalled checkouts)
+
 from repro.interop import export_verilog, technology_map
 from repro.ir import (
     STRUCTURAL, classify, link_modules, parse_module, print_module,

@@ -1,13 +1,16 @@
-"""Analyses over LLHD IR: CFG orders, dominators, temporal regions."""
+"""Analyses over LLHD IR: CFG orders, dominators, temporal regions,
+and the per-unit analysis cache shared by the pass manager."""
 
 from .cfg import (
     postorder, reachable_blocks, rebuild_phi, remove_unreachable_blocks,
     reverse_postorder,
 )
 from .dominators import DominatorTree
+from .manager import ANALYSES, AnalysisManager, register_analysis
 from .temporal import TemporalRegions
 
 __all__ = [
-    "DominatorTree", "TemporalRegions", "postorder", "reachable_blocks",
-    "rebuild_phi", "remove_unreachable_blocks", "reverse_postorder",
+    "ANALYSES", "AnalysisManager", "DominatorTree", "TemporalRegions",
+    "postorder", "reachable_blocks", "rebuild_phi", "register_analysis",
+    "remove_unreachable_blocks", "reverse_postorder",
 ]

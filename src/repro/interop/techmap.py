@@ -51,19 +51,25 @@ def technology_map(module, gate_delay="100ps"):
     return out, library_module
 
 
-def _cell(out, library, opcode, width, delay):
-    """Get or create the library cell for an operator/width."""
+def _cell(out, library, opcode, width, delay, shift_amount=None):
+    """Get or create the library cell for an operator/width.
+
+    Shifts are parameterized by their (constant) amount as well — pure
+    wiring in hardware, so each ``(op, width, amount)`` is its own cell.
+    """
     from ..ir.units import UnitDecl
 
-    key = (opcode, width)
+    key = (opcode, width) if shift_amount is None \
+        else (opcode, width, shift_amount)
     name = library.get(key)
     if name is not None:
         return name
-    name = f"cell_{opcode}_{width}"
+    name = f"cell_{opcode}_{width}" if shift_amount is None \
+        else f"cell_{opcode}{shift_amount}_{width}"
     library[key] = name
     ty = signal_type(int_type(width))
     bit = signal_type(int_type(1))
-    if opcode == "not":
+    if opcode == "not" or shift_amount is not None:
         cell = Entity(name, [ty], ["a"], [ty], ["y"])
     elif opcode in ("eq", "neq"):
         cell = Entity(name, [ty, ty], ["a", "b"], [bit], ["y"])
@@ -74,7 +80,10 @@ def _cell(out, library, opcode, width, delay):
     b = Builder.at_end(cell.body)
     ins = [b.prb(a) for a in cell.inputs]
     d = b.const_time(delay)
-    if opcode == "not":
+    if shift_amount is not None:
+        amt = b.const_int(int_type(32), shift_amount)
+        result = b.binary(opcode, ins[0], amt)
+    elif opcode == "not":
         result = b.not_(ins[0])
     elif opcode == "mux":
         arr = b.array([ins[0], ins[1]])
@@ -138,6 +147,10 @@ def _map_entity(entity, out, library, delay):
             builder.con(as_signal(inst.drv_signal()), src)
         elif op in _MAPPABLE:
             signal_of[id(inst)] = _map_op(
+                builder, out, library, inst, signal_of, consts, delay,
+                entity)
+        elif op in ("shl", "shr"):
+            signal_of[id(inst)] = _map_shift(
                 builder, out, library, inst, signal_of, consts, delay,
                 entity)
         elif op == "inst":
@@ -206,4 +219,24 @@ def _map_op(builder, out, library, inst, signal_of, consts, delay, entity):
     zero = builder.const_int(result_ty.element, 0)
     result = builder.sig(zero, name=inst.name)
     builder.inst(cell, operands_in, [result])
+    return result
+
+
+def _map_shift(builder, out, library, inst, signal_of, consts, delay,
+               entity):
+    """Map a shift by a constant amount: pure wiring, one cell per
+    (op, width, amount)."""
+    amount_const = consts.get(id(inst.operands[1]))
+    if amount_const is None:
+        raise TechmapError(
+            f"@{entity.name}: '{inst.opcode}' by a non-constant amount "
+            f"has no library mapping")
+    width = inst.operands[0].type.width
+    name = _cell(out, library, inst.opcode, width, delay,
+                 shift_amount=amount_const.attrs["value"])
+    a_sig = _materialize(builder, inst.operands[0], signal_of, consts,
+                         entity)
+    zero = builder.const_int(inst.type, 0)
+    result = builder.sig(zero, name=inst.name)
+    builder.inst(name, [a_sig], [result])
     return result

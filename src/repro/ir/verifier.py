@@ -46,37 +46,43 @@ _ENTITY_FORBIDDEN = frozenset({
 })
 
 
-def verify_module(module, level=BEHAVIOURAL):
-    """Verify a module; raise :class:`VerificationError` on any issue."""
+def verify_module(module, level=BEHAVIOURAL, am=None):
+    """Verify a module; raise :class:`VerificationError` on any issue.
+
+    ``am`` optionally supplies an :class:`~repro.analysis.AnalysisManager`
+    whose cached dominator trees the SSA dominance check reuses — the
+    pass manager threads its own cache through here when verifying
+    between passes.
+    """
     issues = []
     for unit in module:
-        issues += _unit_issues(unit, module)
+        issues += _unit_issues(unit, module, am)
     issues += level_violations(module, level)
     if issues:
         raise VerificationError(issues)
 
 
-def verify_unit(unit, module=None):
+def verify_unit(unit, module=None, am=None):
     """Verify a single unit; raise on any issue."""
-    issues = _unit_issues(unit, module)
+    issues = _unit_issues(unit, module, am)
     if issues:
         raise VerificationError(issues)
 
 
-def _unit_issues(unit, module):
+def _unit_issues(unit, module, am=None):
     where = f"@{unit.name}"
     issues = []
     if unit.is_entity:
         issues += _check_entity(unit, where)
     else:
-        issues += _check_cf_unit(unit, where)
+        issues += _check_cf_unit(unit, where, am)
     issues += _check_placement(unit, where)
     if module is not None:
         issues += _check_references(unit, module, where)
     return issues
 
 
-def _check_cf_unit(unit, where):
+def _check_cf_unit(unit, where, am=None):
     issues = []
     if not unit.blocks:
         issues.append(f"{where}: unit has no blocks")
@@ -103,7 +109,7 @@ def _check_cf_unit(unit, where):
     if unit.is_function:
         issues += _check_function_returns(unit, where)
     issues += _check_phis(unit, where)
-    issues += _check_dominance(unit, where)
+    issues += _check_dominance(unit, where, am)
     return issues
 
 
@@ -151,9 +157,10 @@ def _check_phis(unit, where):
     return issues
 
 
-def _check_dominance(unit, where):
+def _check_dominance(unit, where, am=None):
     issues = []
-    domtree = DominatorTree(unit)
+    domtree = am.get("domtree", unit) if am is not None \
+        else DominatorTree(unit)
     reachable = {id(b) for b in domtree.order}
     for block in unit.blocks:
         if id(block) not in reachable:

@@ -1,0 +1,174 @@
+"""``python -m repro.opt`` — the paper's ``llhd-opt`` tool.
+
+Parses ``.llhd`` files, runs a pipeline of registered passes over them,
+and prints the resulting IR::
+
+    python -m repro.opt examples/acc.llhd -p lower -stats
+    python -m repro.opt design.llhd -p "inline,fixpoint(cf,instsimplify,cse,dce)"
+    python -m repro.opt --list-passes
+
+The ``-p`` spec accepts registered pass names, named pipelines
+(``cleanup``, ``prepare``, ``lower``), and ``fixpoint(...)`` groups —
+see :mod:`repro.passes.manager`.  ``-stats`` prints a per-pass table of
+run counts, changed flags, wall time, and pass-specific counters, plus
+the analysis-cache hit rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ir import ParseError, parse_module, print_module, verify_module
+from .ir.verifier import VerificationError
+from .passes import (  # noqa: F401 — importing registers all passes
+    PASS_REGISTRY, PIPELINES, InlineError, PassError, PassManager,
+)
+from .passes.manager import parse_pipeline
+from .passes.pipeline import LoweringRejection
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.opt",
+        description="Run LLHD passes over .llhd files (the paper's "
+                    "llhd-opt).")
+    parser.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help=".llhd input files ('-' reads stdin)")
+    parser.add_argument(
+        "-p", "--pipeline", default="lower", metavar="SPEC",
+        help="pipeline spec: pass names, named pipelines, and "
+             "fixpoint(...) groups (default: lower)")
+    parser.add_argument(
+        "-stats", "--stats", action="store_true", dest="stats",
+        help="print per-pass timing/changed statistics")
+    parser.add_argument(
+        "--verify-each", action="store_true",
+        help="verify the IR after every pass")
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the initial verification of parsed input")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="do not print the resulting IR")
+    parser.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the resulting IR to FILE instead of stdout")
+    parser.add_argument(
+        "--list-passes", action="store_true",
+        help="list registered passes and named pipelines, then exit")
+    return parser
+
+
+def _list_passes(out):
+    out.write("registered passes:\n")
+    for name in sorted(PASS_REGISTRY):
+        cls = PASS_REGISTRY[name]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        out.write(f"  {name:<18} [{cls.scope:>6}]  {summary}\n")
+    out.write("named pipelines:\n")
+    for name in sorted(PIPELINES):
+        out.write(f"  {name:<18} = {PIPELINES[name]}\n")
+
+
+def _read(path):
+    if path == "-":
+        return "<stdin>", sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return path, handle.read()
+
+
+def _run_one(path, args, out, err):
+    try:
+        name, text = _read(path)
+    except OSError as error:
+        err.write(f"{path}: cannot read: {error}\n")
+        return 1
+    try:
+        module = parse_module(text, name=name)
+    except ParseError as error:
+        err.write(f"{name}: parse error: {error}\n")
+        return 1
+    if not args.no_verify:
+        try:
+            verify_module(module)
+        except VerificationError as error:
+            err.write(f"{name}: input does not verify: {error}\n")
+            return 1
+
+    pm = PassManager(verify_each=args.verify_each)
+    try:
+        pm.run_spec(args.pipeline, module)
+    except LoweringRejection as error:
+        err.write(f"{name}: lowering rejected: {error}\n")
+        return 1
+    except InlineError as error:
+        err.write(f"{name}: cannot inline: {error}\n")
+        return 1
+    except PassError as error:
+        err.write(f"{name}: pass pipeline failed: {error}\n")
+        return 1
+    except VerificationError as error:
+        err.write(f"{name}: verification failed between passes: {error}\n")
+        return 1
+
+    if not args.quiet:
+        text = print_module(module)
+        out.write(text)
+        if not text.endswith("\n"):
+            out.write("\n")
+
+    # Rejections recorded by the non-strict `lower` pass are reported but
+    # are not an error: partially-synthesizable input is legal llhd-opt
+    # usage (testbench processes stay behavioural).
+    lower = pm.instance("lower")
+    report = getattr(lower, "report", None)
+    if report is not None and report.rejected:
+        err.write(f"{name}: {len(report.rejected)} process(es) not "
+                  f"lowered:\n")
+        for proc_name, reason in report.rejected:
+            err.write(f"  @{proc_name}: {reason}\n")
+
+    if args.stats:
+        err.write(f"=== {name}: pass statistics ===\n")
+        err.write(pm.statistics_table())
+        err.write("\n")
+    return 0
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    out, err = sys.stdout, sys.stderr
+
+    if args.list_passes:
+        _list_passes(out)
+        return 0
+    if not args.files:
+        parser.error("no input files (try --list-passes)")
+
+    try:
+        parse_pipeline(args.pipeline)
+    except PassError as error:
+        err.write(f"bad pipeline spec: {error}\n")
+        return 2
+
+    status = 0
+    out_handle = out
+    opened = None
+    if args.output:
+        opened = open(args.output, "w", encoding="utf-8")
+        out_handle = opened
+    try:
+        for path in args.files:
+            status |= _run_one(path, args, out_handle, err)
+    finally:
+        if opened is not None:
+            opened.close()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

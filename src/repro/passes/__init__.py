@@ -4,8 +4,20 @@ Quick use::
 
     from repro.passes import lower_to_structural
     report = lower_to_structural(module)   # in place; raises on rejection
+
+or through the pass manager (with analysis caching and per-pass stats)::
+
+    from repro.passes import PassManager
+    pm = PassManager("inline,unroll,mem2reg,fixpoint(cf,instsimplify,cse,dce)")
+    pm.run(unit)
+    print(pm.statistics_table())
 """
 
+from .manager import (
+    PASS_REGISTRY, PIPELINES, PRESERVE_ALL, FixpointNode, ModulePass, Pass,
+    PassError, PassManager, PassNode, PassRecord, UnitPass,
+    format_statistics, parse_pipeline, register_pass, register_pipeline,
+)
 from . import (
     cf, clone, cse, dce, deseq, dnf, ecm, inline, inline_entities,
     instsimplify, mem2reg, process_lowering, tcfe, tcm, unroll,
@@ -16,13 +28,18 @@ from .inline_entities import (
     simplify_reg_feedback,
 )
 from .pipeline import (
-    LoweringRejection, LoweringReport, cleanup, lower_to_structural,
+    CLEANUP_SPEC, PREPARE_SPEC, LoweringRejection, LoweringReport, cleanup,
+    lower_to_structural,
 )
 
 __all__ = [
-    "InlineError", "LoweringRejection", "LoweringReport", "cf", "cleanup",
-    "clone", "cse", "dce", "deseq", "dnf", "ecm", "forward_signals",
+    "CLEANUP_SPEC", "FixpointNode", "InlineError", "LoweringRejection",
+    "LoweringReport", "ModulePass", "PASS_REGISTRY", "PIPELINES",
+    "PREPARE_SPEC", "PRESERVE_ALL", "Pass", "PassError", "PassManager",
+    "PassNode", "PassRecord", "UnitPass", "cf", "cleanup", "clone", "cse",
+    "dce", "deseq", "dnf", "ecm", "format_statistics", "forward_signals",
     "inline", "inline_calls", "inline_entities", "inline_entity_insts",
-    "instsimplify", "lower_to_structural", "mem2reg", "process_lowering",
+    "instsimplify", "lower_to_structural", "mem2reg", "parse_pipeline",
+    "process_lowering", "register_pass", "register_pipeline",
     "simplify_reg_feedback", "tcfe", "tcm", "unroll",
 ]

@@ -10,9 +10,11 @@ pruned.
 from __future__ import annotations
 
 from ..analysis.cfg import prune_phi_incoming, remove_unreachable_blocks
+from ..analysis.manager import AnalysisManager
 from ..ir.instructions import Instruction
 from ..sim.eval import evaluate
 from ..sim.values import SimulationError
+from .manager import PRESERVE_ALL, UnitPass, register_pass
 
 _FOLDABLE = frozenset({
     "add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem", "srem",
@@ -96,12 +98,31 @@ def fold_branches(unit):
     return changed
 
 
-def run(unit):
+def run(unit, am=None):
     """Run CF to a fixpoint on one unit; returns True if anything changed."""
-    changed = False
-    while True:
-        n = fold_constants(unit)
-        n += fold_branches(unit)
-        if not n:
-            return changed
-        changed = True
+    return ConstantFoldingPass().run_on_unit(
+        unit, am if am is not None else AnalysisManager())
+
+
+@register_pass
+class ConstantFoldingPass(UnitPass):
+    """Fold constants and constant branches to a fixpoint (§4.1)."""
+
+    name = "cf"
+    # Folding an instruction keeps the CFG intact; folding a *branch* does
+    # not, so branch folds invalidate precisely below.
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        changed = False
+        while True:
+            folded = fold_constants(unit)
+            branches = fold_branches(unit)
+            if folded:
+                self.stat("folded", folded)
+            if branches:
+                self.stat("branches", branches)
+                am.invalidate(unit)
+            if not folded and not branches:
+                return changed
+            changed = True

@@ -8,9 +8,10 @@ are never merged.
 
 from __future__ import annotations
 
-from ..analysis.dominators import DominatorTree
+from ..analysis.manager import AnalysisManager
 from ..ir.ninevalued import LogicVec
 from ..ir.values import TimeValue
+from .manager import PRESERVE_ALL, UnitPass, register_pass
 
 
 def _key(inst):
@@ -28,43 +29,63 @@ def _key(inst):
             tuple(id(op) for op in inst.operands), tuple(attr_items))
 
 
-def run(unit):
+def run(unit, am=None):
     """Run CSE on one unit; returns True if anything was merged."""
-    if unit.is_entity:
-        return _run_linear(unit.body)
-    domtree = DominatorTree(unit)
-    children = {id(b): [] for b in unit.blocks}
-    for block in unit.blocks:
-        idom = domtree.immediate_dominator(block)
-        if idom is not None:
-            children[id(idom)].append(block)
-    changed = False
-    scope = {}
+    return CSEPass().run_on_unit(
+        unit, am if am is not None else AnalysisManager())
 
-    def visit(block):
-        nonlocal changed
-        added = []
-        for inst in list(block.instructions):
-            key = _key(inst)
-            if key is None:
-                continue
-            existing = scope.get(key)
-            if existing is not None:
-                inst.replace_all_uses_with(existing)
-                inst.erase()
-                changed = True
-            else:
-                scope[key] = inst
-                added.append(key)
-        for child in children[id(block)]:
-            visit(child)
-        for key in added:
-            del scope[key]
 
-    entry = unit.entry
-    if entry is not None:
-        visit(entry)
-    return changed
+@register_pass
+class CSEPass(UnitPass):
+    """Dominator-scoped value numbering (§4.1).
+
+    Merging erases instructions but never blocks, so the cached dominator
+    tree the pass itself consumes stays valid.
+    """
+
+    name = "cse"
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        if unit.is_entity:
+            merged = _run_linear(unit.body)
+            if merged:
+                self.stat("merged", merged)
+            return bool(merged)
+        domtree = am.get("domtree", unit)
+        children = {id(b): [] for b in unit.blocks}
+        for block in unit.blocks:
+            idom = domtree.immediate_dominator(block)
+            if idom is not None:
+                children[id(idom)].append(block)
+        changed = False
+        scope = {}
+
+        def visit(block):
+            nonlocal changed
+            added = []
+            for inst in list(block.instructions):
+                key = _key(inst)
+                if key is None:
+                    continue
+                existing = scope.get(key)
+                if existing is not None:
+                    inst.replace_all_uses_with(existing)
+                    inst.erase()
+                    self.stat("merged")
+                    changed = True
+                else:
+                    scope[key] = inst
+                    added.append(key)
+            for child in children.get(id(block), []):
+                visit(child)
+            for key in added:
+                del scope[key]
+
+        entry = unit.entry
+        if entry is not None:
+            visit(entry)
+        return changed
 
 
 def _run_linear(body):
@@ -74,7 +95,7 @@ def _run_linear(body):
     activation, so two probes of the same signal observe the same value
     and may be merged.
     """
-    changed = False
+    merged = 0
     seen = {}
     for inst in list(body.instructions):
         if inst.opcode == "prb":
@@ -87,7 +108,7 @@ def _run_linear(body):
         if existing is not None:
             inst.replace_all_uses_with(existing)
             inst.erase()
-            changed = True
+            merged += 1
         else:
             seen[key] = inst
-    return changed
+    return merged

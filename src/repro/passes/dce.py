@@ -9,22 +9,43 @@ terminators are never removed.
 from __future__ import annotations
 
 from ..analysis.cfg import remove_unreachable_blocks
+from ..analysis.manager import AnalysisManager
+from .manager import PRESERVE_ALL, UnitPass, register_pass
 
 
-def run(unit):
+def run(unit, am=None):
     """Run DCE to a fixpoint; returns True if anything was removed."""
-    changed = False
-    if not unit.is_entity:
-        changed |= bool(remove_unreachable_blocks(unit))
-    while True:
-        dead = []
-        for block in unit.blocks:
-            for inst in block.instructions:
-                if inst.has_side_effects or inst.is_used:
-                    continue
-                dead.append(inst)
-        if not dead:
-            return changed
-        changed = True
-        for inst in dead:
-            inst.erase()
+    return DCEPass().run_on_unit(
+        unit, am if am is not None else AnalysisManager())
+
+
+@register_pass
+class DCEPass(UnitPass):
+    """Remove unused side-effect-free instructions and unreachable blocks
+    (§4.1).  Erasing instructions preserves all analyses; removing a block
+    does not, so that case invalidates precisely."""
+
+    name = "dce"
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        changed = False
+        if not unit.is_entity:
+            removed = remove_unreachable_blocks(unit)
+            if removed:
+                self.stat("blocks", removed)
+                am.invalidate(unit)
+                changed = True
+        while True:
+            dead = []
+            for block in unit.blocks:
+                for inst in block.instructions:
+                    if inst.has_side_effects or inst.is_used:
+                        continue
+                    dead.append(inst)
+            if not dead:
+                return changed
+            changed = True
+            self.stat("instructions", len(dead))
+            for inst in dead:
+                inst.erase()

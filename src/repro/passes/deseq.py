@@ -26,19 +26,22 @@ from ..ir.instructions import Instruction
 from ..ir.units import Entity
 from .clone import clone_instruction
 from .dnf import FALSE, build_dnf, literals, terms
+from .manager import PRESERVE_ALL, ModulePass, register_pass
 
 
 class DeseqError(Exception):
     """Raised internally when a process does not match a sequential form."""
 
 
-def matches_shape(proc):
+def matches_shape(proc, am=None):
     """Two blocks, two TRs: one wait block, one drive block."""
     from ..analysis.temporal import TemporalRegions
 
     if not proc.is_process or len(proc.blocks) != 2:
         return False
-    if TemporalRegions(proc).count != 2:
+    regions = am.get("temporal", proc) if am is not None \
+        else TemporalRegions(proc)
+    if regions.count != 2:
         return False
     waits = [b for b in proc.blocks
              if b.terminator is not None and b.terminator.opcode == "wait"]
@@ -188,12 +191,12 @@ def _merge_probes(proc):
                 inst.erase()
 
 
-def desequentialize(module, proc):
+def desequentialize(module, proc, am=None):
     """Rewrite one matching process into an entity with reg storage.
 
     Returns the new entity, or None if the process does not match.
     """
-    if not matches_shape(proc):
+    if not matches_shape(proc, am):
         return None
     _merge_probes(proc)
     b0 = next(b for b in proc.blocks if b.terminator.opcode == "wait")
@@ -251,6 +254,8 @@ def desequentialize(module, proc):
 
     module.remove(proc.name)
     module.add(entity)
+    if am is not None:
+        am.forget(proc)
     return entity
 
 
@@ -386,10 +391,30 @@ def _materialize(const_value, ty, builder):
     return builder.const_int(ty, const_value)
 
 
-def run(module):
+def run(module, am=None):
     """Desequentialize every matching process; returns how many."""
     count = 0
     for proc in list(module.processes()):
-        if desequentialize(module, proc) is not None:
+        if desequentialize(module, proc, am) is not None:
             count += 1
     return count
+
+
+@register_pass
+class DesequentializationPass(ModulePass):
+    """Rewrite two-TR sequential processes into reg entities (§4.6).
+
+    Matching processes are replaced wholesale (and forgotten from the
+    analysis cache); ``_merge_probes`` may erase duplicate probes in a
+    non-matching process, which leaves its CFG — and all cached analyses —
+    intact.
+    """
+
+    name = "deseq"
+    preserves = PRESERVE_ALL
+
+    def run_on_module(self, module, am):
+        count = run(module, am)
+        if count:
+            self.stat("desequentialized", count)
+        return bool(count)

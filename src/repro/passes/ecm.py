@@ -10,11 +10,10 @@ of the paper).
 
 from __future__ import annotations
 
-from ..analysis.cfg import reverse_postorder
-from ..analysis.dominators import DominatorTree
-from ..analysis.temporal import TemporalRegions
+from ..analysis.manager import AnalysisManager
 from ..ir.instructions import Instruction
 from ..ir.values import Argument, Block
+from .manager import PRESERVE_ALL, UnitPass, register_pass
 
 _MOVABLE = frozenset({
     "const", "add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
@@ -24,25 +23,43 @@ _MOVABLE = frozenset({
 })
 
 
-def run(unit):
+def run(unit, am=None):
     """Hoist instructions in one process/function; True if anything moved."""
-    if unit.is_entity:
-        return False
-    domtree = DominatorTree(unit)
-    regions = TemporalRegions(unit) if unit.is_process else None
-    changed = False
-    for block in reverse_postorder(unit):
-        for inst in list(block.instructions):
-            target = _hoist_target(inst, block, domtree, regions, unit)
-            if target is None or target is block:
-                continue
-            block.remove(inst)
-            index = len(target.instructions)
-            if target.terminator is not None:
-                index -= 1
-            target.insert(index, inst)
-            changed = True
-    return changed
+    return EarlyCodeMotionPass().run_on_unit(
+        unit, am if am is not None else AnalysisManager())
+
+
+@register_pass
+class EarlyCodeMotionPass(UnitPass):
+    """Hoist instructions up the CFG within TR bounds (§4.2).
+
+    Instructions move between existing blocks; no block or edge changes,
+    so the dominator tree and temporal regions it consumes stay valid.
+    """
+
+    name = "ecm"
+    applies_to = ("func", "proc")
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        if unit.is_entity:
+            return False
+        domtree = am.get("domtree", unit)
+        regions = am.get("temporal", unit) if unit.is_process else None
+        changed = False
+        for block in am.get("rpo", unit):
+            for inst in list(block.instructions):
+                target = _hoist_target(inst, block, domtree, regions, unit)
+                if target is None or target is block:
+                    continue
+                block.remove(inst)
+                index = len(target.instructions)
+                if target.terminator is not None:
+                    index -= 1
+                target.insert(index, inst)
+                self.stat("hoisted")
+                changed = True
+        return changed
 
 
 def _hoist_target(inst, block, domtree, regions, unit):

@@ -11,10 +11,36 @@ from __future__ import annotations
 from ..ir.builder import Builder
 from ..ir.units import UnitDecl
 from .clone import clone_blocks_into
+from .manager import PassError, UnitPass, register_pass
 
 
 class InlineError(Exception):
     """Raised when a call cannot be inlined (recursion, missing body)."""
+
+
+@register_pass
+class InlinePass(UnitPass):
+    """Inline every non-intrinsic call in a unit (§4.1).
+
+    Splices cloned callee blocks into the caller — a CFG change.  The
+    callee is looked up through ``unit.module``, so the unit must live in
+    a module.
+    """
+
+    name = "inline"
+    applies_to = ("func", "proc")
+    preserves = frozenset()
+
+    def run_on_unit(self, unit, am):
+        if unit.is_entity:
+            return False
+        if unit.module is None:
+            raise PassError(
+                f"inline: @{unit.name} is not part of a module")
+        inlined = inline_calls(unit, unit.module)
+        if inlined:
+            self.stat("inlined", inlined)
+        return bool(inlined)
 
 
 def inline_calls(unit, module, _stack=()):

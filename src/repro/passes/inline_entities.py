@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..ir.instructions import Instruction
 from ..ir.units import UnitDecl
 from .clone import clone_instruction
+from .manager import PassError, UnitPass, register_pass
 
 
 def inline_entities(module, parent, only=None):
@@ -135,6 +136,55 @@ def simplify_reg_feedback(entity):
                 t.cond = inst.add_operand(sel)
             changed += 1
     return changed
+
+
+@register_pass
+class InlineEntitiesPass(UnitPass):
+    """Splice instantiated entity bodies into the parent entity."""
+
+    name = "inline-entities"
+    applies_to = ("entity",)
+    preserves = frozenset()
+
+    def run_on_unit(self, unit, am):
+        if unit.module is None:
+            raise PassError(
+                f"inline-entities: @{unit.name} is not part of a module")
+        inlined = inline_entities(unit.module, unit)
+        if inlined:
+            self.stat("inlined", inlined)
+        return bool(inlined)
+
+
+@register_pass
+class ForwardSignalsPass(UnitPass):
+    """Forward single-driver local signals to their probes (synthesis
+    view: drops the drive delay)."""
+
+    name = "forward-signals"
+    applies_to = ("entity",)
+    preserves = frozenset()
+
+    def run_on_unit(self, unit, am):
+        removed = forward_signals(unit)
+        if removed:
+            self.stat("forwarded", removed)
+        return bool(removed)
+
+
+@register_pass
+class SimplifyRegFeedbackPass(UnitPass):
+    """Rewrite reg feedback muxes into trigger conditions (Fig. 5k)."""
+
+    name = "reg-feedback"
+    applies_to = ("entity",)
+    preserves = frozenset()
+
+    def run_on_unit(self, unit, am):
+        changed = simplify_reg_feedback(unit)
+        if changed:
+            self.stat("simplified", changed)
+        return bool(changed)
 
 
 def _reorder_topologically(entity):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..ir.instructions import Instruction
 from ..ir.values import Value
+from .manager import PRESERVE_ALL, UnitPass, register_pass
 
 
 def _const_of(value):
@@ -111,23 +112,62 @@ def _simplify(inst):
     return None
 
 
+def _simplify_drv(inst):
+    """Fold constant drive conditions: ``if 1`` drops, ``if 0`` erases.
+
+    Returns True if the instruction changed (it may be gone afterwards).
+    """
+    if inst.opcode != "drv" or not inst.attrs.get("has_cond"):
+        return False
+    cond = _const_of(inst.operands[3])
+    if not isinstance(cond, (int, bool)):
+        return False
+    if cond:
+        inst.operands[3]._remove_use(inst, 3)
+        inst.operands.pop()
+        inst.attrs["has_cond"] = False
+    else:
+        inst.erase()
+    return True
+
+
 def run(unit):
     """Run IS to a fixpoint on one unit; returns True if anything changed."""
-    changed = False
-    again = True
-    while again:
-        again = False
-        for block in unit.blocks:
-            for inst in list(block.instructions):
-                result = _simplify(inst)
-                if result is None:
-                    continue
-                if isinstance(result, tuple):  # ("const", value)
-                    const = Instruction(
-                        "const", inst.type, (), {"value": result[1]})
-                    block.insert(block.index_of(inst), const)
-                    result = const
-                inst.replace_all_uses_with(result)
-                inst.erase()
-                changed = again = True
-    return changed
+    return InstSimplifyPass().run_on_unit(unit, None)
+
+
+@register_pass
+class InstSimplifyPass(UnitPass):
+    """Peephole-simplify instructions to a fixpoint (§4.1).
+
+    Only replaces and erases instructions — the CFG (and therefore every
+    cached analysis) is untouched.
+    """
+
+    name = "instsimplify"
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        changed = False
+        again = True
+        while again:
+            again = False
+            for block in unit.blocks:
+                for inst in list(block.instructions):
+                    if _simplify_drv(inst):
+                        self.stat("simplified")
+                        changed = again = True
+                        continue
+                    result = _simplify(inst)
+                    if result is None:
+                        continue
+                    if isinstance(result, tuple):  # ("const", value)
+                        const = Instruction(
+                            "const", inst.type, (), {"value": result[1]})
+                        block.insert(block.index_of(inst), const)
+                        result = const
+                    inst.replace_all_uses_with(result)
+                    inst.erase()
+                    self.stat("simplified")
+                    changed = again = True
+        return changed

@@ -9,8 +9,9 @@ memory has no hardware equivalent.
 
 from __future__ import annotations
 
-from ..analysis.dominators import DominatorTree
+from ..analysis.manager import AnalysisManager
 from ..ir.instructions import Instruction
+from .manager import PRESERVE_ALL, UnitPass, register_pass
 
 
 def promotable_vars(unit):
@@ -34,22 +35,40 @@ def promotable_vars(unit):
     return out
 
 
-def run(unit):
+def run(unit, am=None):
     """Promote all promotable vars in a CF unit; returns True if changed."""
-    if unit.is_entity:
-        return False
-    candidates = promotable_vars(unit)
-    if not candidates:
-        return False
-    domtree = DominatorTree(unit)
-    frontier = domtree.dominance_frontier()
-    reachable = {id(b) for b in domtree.order}
+    return Mem2RegPass().run_on_unit(
+        unit, am if am is not None else AnalysisManager())
 
-    for var in candidates:
-        if id(var.parent) not in reachable:
-            continue
-        _promote(unit, var, domtree, frontier)
-    return True
+
+@register_pass
+class Mem2RegPass(UnitPass):
+    """Promote stack slots to SSA values with phi nodes (§2.5.8).
+
+    Inserts phis and erases ld/st/var instructions inside existing blocks;
+    the CFG — and with it the dominator tree it consumes — is unchanged.
+    """
+
+    name = "mem2reg"
+    applies_to = ("func", "proc")
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        if unit.is_entity:
+            return False
+        candidates = promotable_vars(unit)
+        if not candidates:
+            return False
+        domtree = am.get("domtree", unit)
+        frontier = domtree.dominance_frontier()
+        reachable = {id(b) for b in domtree.order}
+
+        for var in candidates:
+            if id(var.parent) not in reachable:
+                continue
+            _promote(unit, var, domtree, frontier)
+            self.stat("promoted")
+        return True
 
 
 def _promote(unit, var, domtree, frontier):

@@ -11,15 +11,36 @@
 
 and rejects processes that cannot be lowered (``LoweringRejection``), as a
 design containing them is not implementable in hardware.
+
+The sequence itself is expressed as :class:`~.manager.PassManager`
+pipeline specs (:data:`CLEANUP_SPEC`, :data:`PREPARE_SPEC`), registered
+as the named pipelines ``cleanup`` and ``prepare``; one PassManager per
+``lower_to_structural`` call shares cached analyses (dominators, temporal
+regions) across all passes and collects per-pass wall time and changed
+statistics into ``LoweringReport.pass_records``.
 """
 
 from __future__ import annotations
 
 from ..ir.dialects import STRUCTURAL
 from ..ir.verifier import verify_module
-from . import cf, cse, dce, deseq, ecm, instsimplify, mem2reg, tcfe, tcm
-from . import process_lowering, unroll
-from .inline import InlineError, inline_calls
+from . import deseq, process_lowering
+from .inline import InlineError
+from .manager import (
+    ModulePass, PassManager, register_pass, register_pipeline,
+)
+
+#: CF / DCE / CSE / IS to a fixpoint — the §4.1 cleanup group.
+CLEANUP_SPEC = register_pipeline(
+    "cleanup", "fixpoint(cf,instsimplify,cse,dce)")
+
+#: §4.1–§4.4 on one process, mirroring the paper's Figure 4 ordering.
+#: TCM/TCFE may expose more hoisting/threading opportunities, hence the
+#: trailing ecm,tcfe round.
+PREPARE_SPEC = register_pipeline(
+    "prepare",
+    "inline,unroll,mem2reg,cleanup,"
+    "ecm,cleanup,tcm,cleanup,tcfe,cleanup,ecm,tcfe,cleanup")
 
 
 class LoweringRejection(Exception):
@@ -40,39 +61,43 @@ class LoweringReport:
         self.already_structural = []
         self.removed_functions = []
         self.rejected = []
+        self.pass_records = []   # per-pass PassRecord instrumentation
+        self.analysis_stats = {}  # AnalysisManager hit/miss counters
 
     def __repr__(self):
         return (f"<LoweringReport pl={self.lowered_by_pl} "
                 f"deseq={self.lowered_by_deseq} rejected={self.rejected}>")
 
 
-def cleanup(unit):
+def cleanup(unit, pm=None):
     """CF / DCE / CSE / IS to a fixpoint on one unit."""
-    while True:
-        changed = cf.run(unit)
-        changed |= instsimplify.run(unit)
-        changed |= cse.run(unit)
-        changed |= dce.run(unit)
-        if not changed:
-            return
+    pm = pm if pm is not None else PassManager()
+    return pm.run_spec(CLEANUP_SPEC, unit)
 
 
-def lower_to_structural(module, strict=True, verify=True):
+def lower_to_structural(module, strict=True, verify=True, pm=None):
     """Lower all processes in ``module`` to entities, in place.
 
     With ``strict`` (default) a process that cannot be lowered raises
     :class:`LoweringRejection`; otherwise it is recorded in the report and
     left in the module (which will then not verify at the structural
     level).
+
+    ``pm`` optionally supplies the :class:`PassManager` (and with it the
+    analysis cache and instrumentation table) to run on; by default each
+    call gets a fresh one.  The report carries the per-pass records either
+    way.
     """
+    pm = pm if pm is not None else PassManager()
+    am = pm.am
     report = LoweringReport()
     for entity in module.entities():
         report.already_structural.append(entity.name)
-        cleanup(entity)
+        pm.run_spec(CLEANUP_SPEC, entity)
 
     for proc in list(module.processes()):
         try:
-            _prepare_process(proc, module)
+            pm.run_spec(PREPARE_SPEC, proc)
         except InlineError as error:
             if strict:
                 raise LoweringRejection(proc.name, str(error)) from error
@@ -83,17 +108,22 @@ def lower_to_structural(module, strict=True, verify=True):
     for proc in list(module.processes()):
         if process_lowering.can_lower(proc):
             process_lowering.lower_process(module, proc)
+            am.forget(proc)
             report.lowered_by_pl.append(proc.name)
     for proc in list(module.processes()):
-        if deseq.desequentialize(module, proc) is not None:
+        if deseq.desequentialize(module, proc, am) is not None:
             report.lowered_by_deseq.append(proc.name)
     for proc in list(module.processes()):
         if process_lowering.can_lower(proc):
             process_lowering.lower_process(module, proc)
+            am.forget(proc)
             report.lowered_by_pl.append(proc.name)
 
+    rejected_names = {name for name, _ in report.rejected}
     for proc in module.processes():
-        reason = _rejection_reason(proc)
+        if proc.name in rejected_names:
+            continue
+        reason = _rejection_reason(proc, am)
         if strict:
             raise LoweringRejection(proc.name, reason)
         report.rejected.append((proc.name, reason))
@@ -102,38 +132,62 @@ def lower_to_structural(module, strict=True, verify=True):
     for func in list(module.functions()):
         if not _function_called(module, func):
             module.remove(func.name)
+            am.forget(func)
             report.removed_functions.append(func.name)
         elif strict:
             raise LoweringRejection(
                 func.name, "function still referenced after inlining")
 
     for entity in module.entities():
-        cleanup(entity)
+        pm.run_spec(CLEANUP_SPEC, entity)
 
-    if verify and strict:
-        verify_module(module, level=STRUCTURAL)
+    # Non-strict runs with rejections leave behavioural processes in the
+    # module, which cannot verify at the structural level — skip those.
+    if verify and (strict or not report.rejected):
+        verify_module(module, level=STRUCTURAL, am=am)
+    report.pass_records = list(pm.records.values())
+    report.analysis_stats = am.stats
     return report
 
 
-def _prepare_process(proc, module):
-    """§4.1–§4.4 on one process."""
-    inline_calls(proc, module)
-    unroll.run(proc)
-    mem2reg.run(proc)
-    cleanup(proc)
-    ecm.run(proc)
-    cleanup(proc)
-    tcm.run(proc)
-    cleanup(proc)
-    tcfe.run(proc)
-    cleanup(proc)
-    # TCM/TCFE may expose more hoisting/threading opportunities.
-    ecm.run(proc)
-    tcfe.run(proc)
-    cleanup(proc)
+@register_pass
+class LowerToStructuralPass(ModulePass):
+    """The full Figure-4 lowering as a single registered pass (``lower``).
+
+    Runs non-strict so partially-synthesizable input produces a report
+    instead of an exception — matching how ``llhd-opt`` is used from the
+    command line.  The inner pipeline's per-pass records are hoisted into
+    the enclosing PassManager's table.
+    """
+
+    name = "lower"
+    preserves = frozenset()
+
+    def __init__(self, strict=False, verify=True):
+        super().__init__()
+        self.strict = strict
+        self.verify = verify
+        self.report = None
+
+    def run_on_module(self, module, am):
+        inner = PassManager(am=am)
+        self.report = lower_to_structural(
+            module, strict=self.strict, verify=self.verify, pm=inner)
+        self.sub_records = self.report.pass_records
+        self.stat("lowered_pl", len(self.report.lowered_by_pl))
+        self.stat("lowered_deseq", len(self.report.lowered_by_deseq))
+        if self.report.rejected:
+            self.stat("rejected", len(self.report.rejected))
+        return True
 
 
-def _rejection_reason(proc):
+def _prepare_process(proc, module=None, pm=None):
+    """§4.1–§4.4 on one process (the ``prepare`` named pipeline)."""
+    pm = pm if pm is not None else PassManager()
+    return pm.run_spec(PREPARE_SPEC, proc)
+
+
+def _rejection_reason(proc, am=None):
     from ..analysis.temporal import TemporalRegions
 
     for inst in proc.instructions():
@@ -146,7 +200,9 @@ def _rejection_reason(proc):
             return "process halts — testbench code is not synthesizable"
         if inst.opcode == "wait" and inst.wait_time() is not None:
             return "wait with a timeout models physical time, not hardware"
-    trs = TemporalRegions(proc).count
+    regions = am.get("temporal", proc) if am is not None \
+        else TemporalRegions(proc)
+    trs = regions.count
     if len(proc.blocks) > 2 or trs > 2:
         return (f"{len(proc.blocks)} blocks / {trs} temporal regions "
                 f"remain after TCFE (neither combinational nor a "

@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..ir.instructions import Instruction
 from ..ir.units import Entity
 from .clone import clone_instruction
+from .manager import PRESERVE_ALL, ModulePass, register_pass
 
 _ENTITY_OK = frozenset({
     "const", "add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
@@ -71,11 +72,31 @@ def lower_process(module, proc):
     return entity
 
 
-def run(module):
+def run(module, am=None):
     """Lower every eligible process; returns the number lowered."""
     lowered = 0
     for proc in list(module.processes()):
         if can_lower(proc):
             lower_process(module, proc)
+            if am is not None:
+                am.forget(proc)
             lowered += 1
     return lowered
+
+
+@register_pass
+class ProcessLoweringPass(ModulePass):
+    """Rewrite single-block fully-sensitive processes as entities (§4.5).
+
+    Lowered processes are replaced wholesale; analyses cached for other
+    units stay valid, and the replaced process is forgotten precisely.
+    """
+
+    name = "pl"
+    preserves = PRESERVE_ALL
+
+    def run_on_module(self, module, am):
+        lowered = run(module, am)
+        if lowered:
+            self.stat("lowered", lowered)
+        return bool(lowered)

@@ -17,21 +17,43 @@ from __future__ import annotations
 from ..analysis.cfg import rebuild_phi, remove_unreachable_blocks
 from ..ir.builder import Builder
 from ..ir.values import Block
+from .manager import UnitPass, register_pass
 
 
 def run(unit):
     """Run TCFE to a fixpoint; returns True if the CFG changed."""
-    if not unit.is_process and not unit.is_function:
-        return False
-    changed = False
-    progress = True
-    while progress:
-        progress = False
-        progress |= _thread_empty_blocks(unit)
-        progress |= _if_convert(unit)
-        progress |= _merge_chains(unit)
-        changed |= progress
-    return changed
+    return TotalControlFlowEliminationPass().run_on_unit(unit, None)
+
+
+@register_pass
+class TotalControlFlowEliminationPass(UnitPass):
+    """Replace control flow with data flow: branches become muxes (§4.4).
+
+    Rewrites the CFG wholesale, so it preserves no cached analyses.
+    """
+
+    name = "tcfe"
+    applies_to = ("func", "proc")
+    preserves = frozenset()
+
+    def run_on_unit(self, unit, am):
+        if not unit.is_process and not unit.is_function:
+            return False
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            if _thread_empty_blocks(unit):
+                self.stat("threaded")
+                progress = True
+            if _if_convert(unit):
+                self.stat("if_converted")
+                progress = True
+            if _merge_chains(unit):
+                self.stat("merged")
+                progress = True
+            changed |= progress
+        return changed
 
 
 def _is_empty_forward(block):

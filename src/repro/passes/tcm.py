@@ -16,32 +16,56 @@ data (the path condition becomes the drv's condition operand):
 
 from __future__ import annotations
 
-from ..analysis.dominators import DominatorTree
-from ..analysis.temporal import TemporalRegions
+from ..analysis.manager import AnalysisManager
 from ..ir.builder import Builder
-from ..ir.instructions import Instruction
-from ..ir.values import Block
+from .manager import PRESERVE_ALL, UnitPass, register_pass
 
 
 class TCMError(Exception):
     """Raised when a drive cannot be scheduled into its TR exit."""
 
 
-def run(unit):
+def run(unit, am=None):
     """Run TCM on a process; returns True if the unit changed."""
-    if not unit.is_process:
-        return False
-    changed = _single_exit_per_region(unit)
-    changed |= _move_drives(unit)
-    changed |= _coalesce_drives(unit)
-    return changed
+    return TemporalCodeMotionPass().run_on_unit(
+        unit, am if am is not None else AnalysisManager())
+
+
+@register_pass
+class TemporalCodeMotionPass(UnitPass):
+    """Move drives into a single exiting block per TR (§4.3).
+
+    Step 1 may insert auxiliary blocks (invalidated precisely when it
+    does); steps 2 and 3 only move and insert instructions, so the
+    analyses refreshed after step 1 remain valid afterwards.
+    """
+
+    name = "tcm"
+    applies_to = ("proc",)
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        if not unit.is_process:
+            return False
+        changed = _single_exit_per_region(unit, am.get("temporal", unit))
+        if changed:
+            self.stat("aux_blocks")
+            am.invalidate(unit)
+        regions = am.get("temporal", unit)
+        domtree = am.get("domtree", unit)
+        moved = _move_drives(unit, regions, domtree)
+        if moved:
+            self.stat("moved_drives")
+        coalesced = _coalesce_drives(unit, regions)
+        if coalesced:
+            self.stat("coalesced")
+        return changed | moved | coalesced
 
 
 # -- step 1: single exiting block per TR ---------------------------------------
 
 
-def _single_exit_per_region(unit):
-    regions = TemporalRegions(unit)
+def _single_exit_per_region(unit, regions):
     changed = False
     for tr in regions.regions():
         # Arcs from `tr` into each other TR, grouped by target entry block.
@@ -78,9 +102,7 @@ def _single_exit_per_region(unit):
 # -- step 2: move drives into the exiting block --------------------------------
 
 
-def _move_drives(unit):
-    regions = TemporalRegions(unit)
-    domtree = DominatorTree(unit)
+def _move_drives(unit, regions, domtree):
     changed = False
     for tr in regions.regions():
         exits = regions.exiting_blocks(tr)
@@ -210,8 +232,7 @@ def _or(builder, a, b):
 # -- step 3: coalesce same-signal drives in the exit block ----------------------
 
 
-def _coalesce_drives(unit):
-    regions = TemporalRegions(unit)
+def _coalesce_drives(unit, regions):
     changed = False
     for tr in regions.regions():
         exits = regions.exiting_blocks(tr)

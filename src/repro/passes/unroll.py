@@ -18,6 +18,7 @@ from ..ir.builder import Builder
 from ..ir.instructions import Instruction
 from ..sim.eval import evaluate
 from ..sim.values import SimulationError
+from .manager import UnitPass, register_pass
 
 MAX_ITERATIONS = 100_000
 
@@ -36,6 +37,25 @@ def run(unit):
                 progress = True
                 break
     return folded
+
+
+@register_pass
+class UnrollPass(UnitPass):
+    """Fold counted loops by compile-time evaluation (§4.1).
+
+    Folding a loop cuts its back edge — a CFG change, so nothing cached
+    survives.
+    """
+
+    name = "unroll"
+    applies_to = ("func", "proc")
+    preserves = frozenset()
+
+    def run_on_unit(self, unit, am):
+        folded = run(unit)
+        if folded:
+            self.stat("folded", folded)
+        return bool(folded)
 
 
 def _fold_loop(unit, loop):

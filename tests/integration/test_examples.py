@@ -7,8 +7,9 @@ import sys
 import pytest
 
 EXAMPLES = sorted(
-    pathlib.Path(__file__).resolve().parents[2].joinpath(
-        "examples").glob("*.py"))
+    p for p in pathlib.Path(__file__).resolve().parents[2].joinpath(
+        "examples").glob("*.py")
+    if not p.name.startswith("_"))  # _bootstrap.py is a helper, not a demo
 
 
 def test_examples_exist():

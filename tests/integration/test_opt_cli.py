@@ -1,0 +1,104 @@
+"""Tests for the ``python -m repro.opt`` command-line driver."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.opt import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+ACC = EXAMPLES / "acc.llhd"
+
+
+def test_example_llhd_file_exists():
+    assert ACC.is_file()
+
+
+def test_lower_pipeline_prints_structural_ir(capsys):
+    assert main([str(ACC), "-p", "lower"]) == 0
+    out = capsys.readouterr().out
+    assert "entity @acc_ff" in out
+    assert "reg i32$" in out
+    assert "proc @" not in out  # everything lowered
+
+
+def test_stats_table_on_stderr(capsys):
+    assert main([str(ACC), "-p", "lower", "-stats"]) == 0
+    err = capsys.readouterr().err
+    for name in ("lower", "cf", "cse", "ecm", "tcm", "tcfe",
+                 "analysis cache"):
+        assert name in err
+
+
+def test_custom_pipeline_spec(capsys):
+    assert main([str(ACC), "-p",
+                 "fixpoint(cf,instsimplify,cse,dce)", "-stats"]) == 0
+    captured = capsys.readouterr()
+    assert "proc @acc_ff" in captured.out  # not lowered, only cleaned
+    assert "cse" in captured.err
+
+
+def test_quiet_suppresses_ir(capsys):
+    assert main([str(ACC), "-p", "cleanup", "-q"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_output_file(tmp_path, capsys):
+    target = tmp_path / "out.llhd"
+    assert main([str(ACC), "-p", "lower", "-o", str(target)]) == 0
+    assert "entity @acc_ff" in target.read_text()
+    assert capsys.readouterr().out == ""
+
+
+def test_list_passes(capsys):
+    assert main(["--list-passes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("cf", "tcm", "deseq", "lower", "cleanup", "prepare"):
+        assert name in out
+
+
+def test_bad_pipeline_spec_exits_2(capsys):
+    assert main([str(ACC), "-p", "no-such-pass"]) == 2
+    assert "bad pipeline spec" in capsys.readouterr().err
+
+
+def test_parse_error_exits_1(tmp_path, capsys):
+    bad = tmp_path / "bad.llhd"
+    bad.write_text("proc @oops (")
+    assert main([str(bad)]) == 1
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_rejections_reported_not_fatal(tmp_path, capsys):
+    testbench = tmp_path / "tb.llhd"
+    testbench.write_text("""
+proc @tb (i1$ %clk) -> (i32$ %x) {
+entry:
+  %zero = const i32 0
+  %del = const time 2ns
+  drv i32$ %x, %zero after %del
+  wait %done for %del
+done:
+  halt
+}
+""")
+    assert main([str(testbench), "-p", "lower"]) == 0
+    captured = capsys.readouterr()
+    assert "not lowered" in captured.err
+    assert "@tb" in captured.err
+    assert "proc @tb" in captured.out  # stays behavioural in the output
+
+
+def test_module_entry_point_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.opt", str(ACC), "-p", "lower",
+         "-stats"],
+        capture_output=True, text=True, timeout=120,
+        cwd=EXAMPLES.parent,
+        env={"PYTHONPATH": str(EXAMPLES.parent / "src"), "PATH": ""},
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "entity @acc_ff" in result.stdout
+    assert "pass statistics" in result.stderr

@@ -1,0 +1,132 @@
+"""Tests for the non-strict lowering path and ``LoweringReport``.
+
+``lower_to_structural(strict=False)`` must record — not raise — every
+process it cannot lower, leave those processes in the module, and still
+lower everything else.  The report also carries the pass manager's
+per-pass instrumentation.
+"""
+
+import pytest
+
+from repro.ir import STRUCTURAL, classify, parse_module, verify_module
+from repro.passes import (
+    LoweringRejection, PassManager, lower_to_structural,
+)
+
+ACC = """
+proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+init:
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %posedge = and i1 %chg, %clk1
+  br %posedge, %init, %event
+event:
+  %dp = prb i32$ %d
+  %delay = const time 1ns
+  drv i32$ %q, %dp after %delay
+  br %init
+}
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 2ns
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+final:
+  wait %entry for %q, %x, %en
+}
+"""
+
+TESTBENCH = """
+proc @tb (i1$ %clk) -> (i32$ %x) {
+entry:
+  %zero = const i32 0
+  %del = const time 2ns
+  drv i32$ %x, %zero after %del
+  wait %done for %del
+done:
+  halt
+}
+"""
+
+
+def test_strict_rejects_testbench():
+    module = parse_module(TESTBENCH)
+    with pytest.raises(LoweringRejection) as excinfo:
+        lower_to_structural(module)
+    assert excinfo.value.unit_name == "tb"
+    assert "wait with a timeout" in excinfo.value.reason
+
+
+def test_non_strict_records_rejection_and_keeps_process():
+    module = parse_module(TESTBENCH)
+    report = lower_to_structural(module, strict=False)
+    assert len(report.rejected) == 1
+    name, reason = report.rejected[0]
+    assert name == "tb"
+    assert "wait with a timeout" in reason
+    # The process is left in the module (still behavioural).
+    assert module.get("tb") is not None and module.get("tb").is_process
+
+
+def test_non_strict_rejections_are_recorded_once():
+    module = parse_module(TESTBENCH)
+    report = lower_to_structural(module, strict=False)
+    names = [name for name, _ in report.rejected]
+    assert names.count("tb") == 1
+
+
+def test_non_strict_still_lowers_the_rest():
+    module = parse_module(ACC + TESTBENCH)
+    report = lower_to_structural(module, strict=False)
+    assert "acc_comb" in report.lowered_by_pl
+    assert "acc_ff" in report.lowered_by_deseq
+    assert [name for name, _ in report.rejected] == ["tb"]
+    assert module.get("acc_comb").is_entity
+    assert module.get("acc_ff").is_entity
+    assert module.get("tb").is_process
+
+
+def test_non_strict_clean_module_verifies_structural():
+    module = parse_module(ACC)
+    report = lower_to_structural(module, strict=False)
+    assert report.rejected == []
+    assert classify(module) == STRUCTURAL
+    verify_module(module, level=STRUCTURAL)
+
+
+def test_report_carries_pass_instrumentation():
+    module = parse_module(ACC)
+    report = lower_to_structural(module)
+    names = {record.name for record in report.pass_records}
+    assert {"cf", "instsimplify", "cse", "dce", "ecm", "tcm",
+            "tcfe"} <= names
+    assert all(record.seconds >= 0.0 for record in report.pass_records)
+    assert report.analysis_stats["misses"] > 0
+    # The shared cache must actually get hits across the pipeline.
+    assert report.analysis_stats["hits"] > 0
+
+
+def test_lowering_reuses_a_caller_pass_manager():
+    module = parse_module(ACC)
+    pm = PassManager()
+    report = lower_to_structural(module, pm=pm)
+    assert report.lowered_by_pl or report.lowered_by_deseq
+    # Instrumentation landed in the caller's manager.
+    assert pm.records and pm.records["cf"].runs > 0
+
+
+def test_report_repr_mentions_outcomes():
+    module = parse_module(ACC)
+    report = lower_to_structural(module)
+    text = repr(report)
+    assert "acc_comb" in text and "acc_ff" in text
