@@ -12,6 +12,16 @@ designs.  The claims being reproduced:
   every benchmark run).
 
 Run: ``pytest benchmarks/bench_table2_simulation.py --benchmark-only -s``
+
+The module is also an executable harness that records the performance
+trajectory for the repository::
+
+    python -m benchmarks.bench_table2_simulation --quick --label after
+
+measures the designs under interp and blaze, asserts the traces are
+byte-identical, and merges the timings into ``BENCH_sim.json`` under the
+given label (``before``/``after``), computing speedup ratios when both
+labels are present.
 """
 
 import pytest
@@ -19,7 +29,15 @@ import pytest
 from repro.designs import DESIGNS, TABLE2_ORDER, compile_design
 from repro.sim import simulate
 
-from .common import BENCH_CYCLES, extrapolate, format_row, timed_simulation
+from .common import (
+    BENCH_CYCLES, extrapolate, format_row, merge_bench_json,
+    run_sim_benchmarks, timed_simulation,
+)
+
+# Representative subset for --quick runs (CI smoke): covers a dataflow
+# filter, a FIFO with memory, the RISC-V core (process-heavy), and the
+# sorter (compute-bound, where compiled execution dominates).
+QUICK_DESIGNS = ("gray", "fir", "fifo", "riscv", "sorter")
 
 BACKENDS = ("interp", "blaze", "cycle")
 _PAPER_COLUMNS = {"interp": "Int.", "blaze": "JIT", "cycle": "Comm."}
@@ -129,3 +147,61 @@ def test_print_table2(capsys):
         print("\nTraces match across interp/blaze/cycle for all designs.")
         print(f"Comm/JIT range: {min(ratios):.2f}x – {max(ratios):.2f}x "
               f"(paper: 0.2x – 2.4x)")
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_table2_simulation",
+        description="Record simulation timings into BENCH_sim.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="benchmark the representative subset only")
+    parser.add_argument("--designs", nargs="*", metavar="NAME",
+                        help="explicit design list (default: table order)")
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"),
+                        help="label to file the measurements under")
+    parser.add_argument("--out", default="BENCH_sim.json",
+                        help="output JSON path (merged, not overwritten)")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="timing repetitions per point (min is kept)")
+    args = parser.parse_args(argv)
+
+    if args.designs:
+        unknown = [d for d in args.designs if d not in DESIGNS]
+        if unknown:
+            parser.error(f"unknown designs: {', '.join(unknown)}")
+        designs = args.designs
+    elif args.quick:
+        designs = QUICK_DESIGNS
+    else:
+        designs = TABLE2_ORDER
+
+    results = run_sim_benchmarks(designs, runs=args.runs)
+    import platform
+
+    doc = merge_bench_json(
+        args.out, args.label, results,
+        meta={"python": platform.python_version(),
+              "designs": list(designs)})
+    widths = [16, 8, 12, 12, 12]
+    print(format_row(("Design", "Engine", "cycles", "wall[ms]",
+                      "marg[us/cy]"), widths))
+    for name in designs:
+        for engine, m in results[name]["backends"].items():
+            print(format_row(
+                (name, engine, m["cycles"], f"{m['wall_s']*1e3:.1f}",
+                 f"{m['per_cycle_us']:.1f}"), widths))
+    for name in designs:
+        speedup = doc["designs"][name].get("speedup", {})
+        if speedup:
+            print(f"{name}: " + ", ".join(
+                f"{k} {v:.2f}x" for k, v in sorted(speedup.items())))
+    print(f"wrote {args.out} [{args.label}] — traces identical across "
+          "engines for all measured designs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

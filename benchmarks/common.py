@@ -8,6 +8,7 @@ the paper — EXPERIMENTS.md records the comparison.
 
 from __future__ import annotations
 
+import json
 import time
 
 from repro.designs import DESIGNS, TABLE2_ORDER, compile_design
@@ -18,15 +19,20 @@ from repro.sim import simulate
 BENCH_CYCLES = {
     "gray": 60, "fir": 40, "lfsr": 60, "lzc": 30, "fifo": 60,
     "cdc_gray": 40, "cdc_strobe": 15, "rr_arbiter": 50,
-    "stream_delayer": 60, "riscv": 200,
+    "stream_delayer": 60, "riscv": 200, "sorter": 40,
 }
 
 
 def timed_simulation(name, backend, cycles=None):
     """Compile (untimed) then simulate (timed); returns (seconds, result)."""
+    import gc
+
     cycles = cycles if cycles is not None else BENCH_CYCLES[name]
     module = compile_design(name, cycles=cycles)
     top = DESIGNS[name].top
+    # Collect frontend debris now so GC pauses don't land in the timed
+    # region (the harness sweeps many designs in one process).
+    gc.collect()
     start = time.perf_counter()
     result = simulate(module, top, backend=backend)
     elapsed = time.perf_counter() - start
@@ -42,3 +48,109 @@ def extrapolate(seconds, cycles, target_cycles):
 
 def format_row(columns, widths):
     return "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+
+
+# -- BENCH_sim.json harness ----------------------------------------------------
+#
+# Every PR records the simulation-performance trajectory in BENCH_sim.json
+# at the repository root: per design and engine, the wall time of a run at
+# the benchmark cycle budget and the *marginal* cost per simulated cycle
+# (two-point slope, which amortizes one-time elaboration/compilation).
+# Successive runs merge under labels ("before"/"after"), so a PR can show
+# its own speedup and future PRs inherit the trajectory.
+
+def trace_fingerprint(trace):
+    """A canonical byte string of a finalized trace (for identity checks)."""
+    items = sorted(trace.finalize().changes.items())
+    return repr([(name, [(fs, repr(v)) for fs, v in history])
+                 for name, history in items])
+
+
+def measure_backend(name, backend, cycles, runs=1):
+    """Measure one design under one engine.
+
+    Returns a dict with wall seconds at ``cycles``, the marginal seconds
+    per cycle (slope between ``cycles`` and ``3*cycles``), the kernel
+    stats, and the trace fingerprint at ``cycles``.
+    """
+    t_short, result = timed_simulation(name, backend, cycles)
+    for _ in range(runs - 1):
+        t_short = min(t_short, timed_simulation(name, backend, cycles)[0])
+    t_long, _ = timed_simulation(name, backend, 3 * cycles)
+    for _ in range(runs - 1):
+        t_long = min(t_long, timed_simulation(name, backend, 3 * cycles)[0])
+    slope = (t_long - t_short) / (2 * cycles)
+    if slope <= 0:  # timing noise on very small designs
+        slope = t_long / (3 * cycles)
+    return {
+        "cycles": cycles,
+        "wall_s": round(t_short, 6),
+        "per_cycle_us": round(slope * 1e6, 3),
+        "stats": dict(result.stats),
+        "fingerprint": trace_fingerprint(result.trace),
+    }
+
+
+def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1):
+    """Measure ``designs`` under ``backends``; assert identical traces."""
+    out = {}
+    for name in designs:
+        cycles = BENCH_CYCLES[name]
+        per_backend = {}
+        for backend in backends:
+            per_backend[backend] = measure_backend(
+                name, backend, cycles, runs=runs)
+        prints = {b: m.pop("fingerprint") for b, m in per_backend.items()}
+        reference = prints[backends[0]]
+        mismatched = [b for b in backends[1:] if prints[b] != reference]
+        if mismatched:
+            raise AssertionError(
+                f"{name}: traces diverge between {backends[0]} and "
+                f"{', '.join(mismatched)}")
+        out[name] = {
+            "backends": per_backend,
+            "traces_identical": True,
+        }
+    return out
+
+
+def merge_bench_json(path, label, results, meta=None):
+    """Merge a labelled measurement set into ``path`` and add speedups."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (FileNotFoundError, ValueError):
+        doc = {"designs": {}}
+    doc.setdefault("designs", {})
+    if meta:
+        slot = doc.setdefault("meta", {})
+        measured = set(slot.get("designs", [])) | set(meta.get("designs", []))
+        slot.update(meta)
+        slot["designs"] = sorted(measured)
+    for name, entry in results.items():
+        slot = doc["designs"].setdefault(name, {})
+        slot[label] = entry
+        _annotate_speedups(slot)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def _annotate_speedups(slot):
+    """Derive before/after and cross-engine ratios where data allows."""
+    speedup = {}
+    after = slot.get("after", {}).get("backends", {})
+    before = slot.get("before", {}).get("backends", {})
+    for engine in set(before) & set(after):
+        b = before[engine].get("per_cycle_us")
+        a = after[engine].get("per_cycle_us")
+        if b and a:
+            speedup[engine] = round(b / a, 2)
+    newest = after or before
+    interp = newest.get("interp", {}).get("per_cycle_us")
+    blaze = newest.get("blaze", {}).get("per_cycle_us")
+    if interp and blaze:
+        speedup["blaze_vs_interp"] = round(interp / blaze, 2)
+    if speedup:
+        slot["speedup"] = speedup

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from . import (
     cdc_gray, cdc_strobe, fifo, fir, gray, lfsr, lzc, riscv, rr_arbiter,
-    stream_delayer,
+    sorter, stream_delayer,
 )
 
 
@@ -56,12 +56,14 @@ class Design:
 DESIGNS = {
     mod.NAME: Design(mod)
     for mod in (gray, fir, lfsr, lzc, fifo, cdc_gray, cdc_strobe,
-                rr_arbiter, stream_delayer, riscv)
+                rr_arbiter, stream_delayer, riscv, sorter)
 }
 
-# Table 2 presentation order.
+# Table 2 presentation order; ``sorter`` (marked *) extends the paper's
+# ten designs with a compute-bound stress row.
 TABLE2_ORDER = ["gray", "fir", "lfsr", "lzc", "fifo", "cdc_gray",
-                "cdc_strobe", "rr_arbiter", "stream_delayer", "riscv"]
+                "cdc_strobe", "rr_arbiter", "stream_delayer", "riscv",
+                "sorter"]
 
 
 def compile_design(name, cycles=None):

@@ -81,7 +81,14 @@ def program_words(n=10):
     return riscv_asm.assemble(PROGRAM.format(n=n))
 
 
-def source(cycles=400, n=10):
+def source(cycles=400, n=None):
+    if n is None:
+        # Scale the fib iteration count with the cycle budget so the
+        # core stays busy for the whole run (the loop costs ~6 cycles
+        # per iteration plus ~110 cycles of fixed prologue/checksum);
+        # fib(47) is the largest value that fits 32 bits, which the
+        # testbench's expected results assume.
+        n = min(47, max(5, (cycles - 120) // 8))
     words = program_words(n)
     imem_init = "\n".join(
         f"      imem[{i}] = 32'h{w:08x};" for i, w in enumerate(words))

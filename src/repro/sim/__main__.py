@@ -1,0 +1,189 @@
+"""``python -m repro.sim`` — the paper's ``llhd-sim`` tool.
+
+Elaborates an LLHD module and simulates it with one of the three
+engines::
+
+    python -m repro.sim design.llhd --top top
+    python -m repro.sim design.llhd --engine blaze --until 100ns --stats
+    python -m repro.sim --design fifo --cycles 60 --engine blaze
+    python -m repro.sim design.llhd --vcd out.vcd --trace
+
+Input is either an ``.llhd`` file (``-`` reads stdin) or a named design
+from the evaluation suite (``--design``, see ``--list-designs``).  The
+engine is ``interp`` (LLHD-Sim, the reference interpreter), ``blaze``
+(the compiled simulator), or ``cycle`` (the independent two-phase
+baseline).  ``--cross-check`` runs interp *and* blaze and verifies the
+traces are identical before reporting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .values import SimulationError
+
+_TIME_SUFFIXES = {
+    "fs": 1, "ps": 1_000, "ns": 1_000_000, "us": 1_000_000_000,
+    "ms": 1_000_000_000_000, "s": 1_000_000_000_000_000,
+}
+
+
+def parse_time_fs(text):
+    """Parse ``100ns`` / ``2500`` (bare = femtoseconds) into fs."""
+    text = text.strip()
+    for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
+        if text.endswith(suffix):
+            number = text[: -len(suffix)].strip()
+            return int(float(number) * _TIME_SUFFIXES[suffix])
+    return int(text)
+
+
+def _build_parser():
+    from . import BACKENDS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Simulate LLHD designs (the paper's llhd-sim).")
+    parser.add_argument(
+        "file", nargs="?", metavar="FILE",
+        help=".llhd input file ('-' reads stdin)")
+    parser.add_argument(
+        "--design", metavar="NAME",
+        help="simulate a named design from the evaluation suite instead "
+             "of a file")
+    parser.add_argument(
+        "--cycles", type=int, default=None, metavar="N",
+        help="testbench cycle count for --design")
+    parser.add_argument(
+        "-t", "--top", metavar="NAME",
+        help="top entity (default: sole entity, or the design's "
+             "testbench)")
+    parser.add_argument(
+        "-e", "--engine", default="interp", choices=BACKENDS,
+        help="simulation engine (default: interp)")
+    parser.add_argument(
+        "--until", metavar="TIME", default=None,
+        help="stop at this time (e.g. 100ns, 2500 = fs)")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print kernel statistics (deltas, events, activations)")
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the value-change trace")
+    parser.add_argument(
+        "--vcd", metavar="FILE",
+        help="write the trace as a VCD file")
+    parser.add_argument(
+        "--cross-check", action="store_true",
+        help="simulate under interp AND blaze; fail on trace divergence")
+    parser.add_argument(
+        "--list-designs", action="store_true",
+        help="list the named designs of the evaluation suite, then exit")
+    return parser
+
+
+def _load_module(args, parser):
+    from ..ir import ParseError, parse_module
+
+    if args.design:
+        from ..designs import DESIGNS, compile_design
+
+        if args.design not in DESIGNS:
+            parser.error(
+                f"unknown design {args.design!r}; see --list-designs")
+        module = compile_design(args.design, cycles=args.cycles)
+        top = args.top or DESIGNS[args.design].top
+        return module, top
+    if not args.file:
+        parser.error("an input file or --design is required")
+    try:
+        if args.file == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.file) as fh:
+                text = fh.read()
+    except OSError as exc:
+        parser.error(str(exc))
+    try:
+        module = parse_module(text)
+    except ParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    return module, args.top or _default_top(module, parser)
+
+
+def _default_top(module, parser):
+    from ..ir.units import UnitDecl
+
+    entities = [unit.name for unit in module
+                if not isinstance(unit, UnitDecl) and unit.is_entity]
+    if len(entities) == 1:
+        return entities[0]
+    parser.error(
+        "--top is required (module has "
+        f"{len(entities)} entities: {', '.join(entities[:5])})")
+
+
+def _report(result, args):
+    for line in result.output:
+        print(line)
+    for failure in result.assertion_failures:
+        print(failure, file=sys.stderr)
+    if args.stats:
+        stats = result.stats
+        print(f"# finished at {result.final_time_fs}fs: "
+              f"{stats['deltas']} deltas, {stats['events']} events, "
+              f"{stats['activations']} activations", file=sys.stderr)
+    if args.trace:
+        trace = result.trace
+        for name in trace.signals():
+            for fs, value in trace.history(name):
+                print(f"{fs}fs {name} = {value}")
+    if args.vcd:
+        with open(args.vcd, "w") as fh:
+            fh.write(result.trace.to_vcd())
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_designs:
+        from ..designs import DESIGNS, TABLE2_ORDER
+
+        for name in TABLE2_ORDER:
+            design = DESIGNS[name]
+            print(f"{name:16s} top @{design.top:24s} {design.paper_name}")
+        return 0
+    module, top = _load_module(args, parser)
+    until_fs = parse_time_fs(args.until) if args.until else None
+
+    from . import simulate
+
+    try:
+        if args.cross_check:
+            reference = simulate(module, top, until_fs=until_fs,
+                                 backend="interp")
+            result = simulate(module, top, until_fs=until_fs,
+                              backend="blaze")
+            differences = reference.trace.differences(result.trace)
+            if differences:
+                print("error: interp and blaze traces diverge:",
+                      file=sys.stderr)
+                for issue in differences:
+                    print(f"  {issue}", file=sys.stderr)
+                return 2
+            print("# traces identical across interp and blaze",
+                  file=sys.stderr)
+        else:
+            result = simulate(module, top, until_fs=until_fs,
+                              backend=args.engine)
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _report(result, args)
+    return 1 if result.assertion_failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

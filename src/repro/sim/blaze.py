@@ -8,13 +8,21 @@ translates every unit into Python source once, compiles it with
 * processes become *generator functions* — ``wait`` is a ``yield`` of the
   subscription request, so resumption is native generator resumption
   instead of interpreting a program counter;
-* entities become activation functions over a pre-bound tuple of signal
-  instances;
+* entities become *bind-time closures*: a generated ``__bind__`` factory
+  receives the instance's resolved signals once, hoists everything
+  loop-invariant (constants, static sub-signal projections, pure ops over
+  already-bound values) out of the activation path, and returns a
+  zero-argument ``__activate__`` closure that is the entity's entire
+  re-activation — one straight-line function, no per-activation
+  dispatch, with whole-signal probes inlined to ``sig.value`` reads;
 * functions become plain Python functions.
 
 Elaboration (hierarchy walk, signal creation) is shared with the reference
-interpreter; only the hot execution paths are replaced.  Traces are
-bit-identical with LLHD-Sim by construction and verified by the
+interpreter.  Because ``con`` net merging happens throughout elaboration,
+instances defer closure construction to :meth:`Design.finalize`, which
+runs once the hierarchy is complete: bindings are resolved through
+``find()`` exactly once, and activations never chase merged nets again.
+Traces are bit-identical with LLHD-Sim by construction and verified by the
 integration tests.
 """
 
@@ -24,11 +32,11 @@ import io
 
 from ..ir.ninevalued import LogicVec
 from ..ir.units import UnitDecl
-from ..ir.values import Argument, TimeValue
+from ..ir.values import TimeValue
 from .engine import Kernel, SignalInstance, SignalRef
-from .eval import _int_binary, _logic_binary
+from .eval import _int_binary, _logic_binary, int_shift, logic_shift
 from .interp import (
-    Cell, CellRef, Design, EntityInstance, ProcessInstance, _Timeout,
+    Cell, CellRef, Design, EntityInstance, ProcessInstance,
 )
 from .values import (
     SimulationError, default_value, extract_path, insert_path, mask,
@@ -107,6 +115,17 @@ def _rt_divmod(op, a, b, width):
     return _int_binary(op, a, b, width)
 
 
+def _rt_resolve(value):
+    """Resolve a binding through ``con`` merging, once, at bind time."""
+    if isinstance(value, SignalInstance):
+        return value.find()
+    if isinstance(value, SignalRef):
+        rep = value.signal.find()
+        if rep is not value.signal:
+            return SignalRef(rep, value.path, value.type)
+    return value
+
+
 _BASE_GLOBALS = {
     "_ld": _rt_ld,
     "_st": _rt_st,
@@ -117,9 +136,12 @@ _BASE_GLOBALS = {
     "_idx": _rt_index,
     "_ibin": _int_binary,
     "_lbin": _logic_binary,
+    "_lshift": logic_shift,
+    "_ishift": int_shift,
     "_tosigned": to_signed,
     "_extract": extract_path,
     "_insert": insert_path,
+    "_Sig": SignalInstance,
     "LogicVec": LogicVec,
     "TimeValue": TimeValue,
     "SimulationError": SimulationError,
@@ -147,11 +169,20 @@ _INLINE_CMP = {
     "sge": "1 if _tosigned({a}, {w}) >= _tosigned({b}, {w}) else 0",
 }
 
+# Opcodes with no side effects: eligible for bind-time hoisting in
+# entities when every operand is already bound.
+_HOISTABLE_OPS = frozenset({
+    "const", "add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
+    "srem", "and", "or", "xor", "not", "neg", "shl", "shr", "eq", "neq",
+    "ult", "ugt", "ule", "uge", "slt", "sgt", "sle", "sge", "zext", "sext",
+    "trunc", "array", "struct", "mux", "insf", "inss", "extf", "exts",
+})
+
 
 class _CodeBuffer:
-    def __init__(self):
+    def __init__(self, indent=0):
         self.out = io.StringIO()
-        self.indent = 0
+        self.indent = indent
 
     def line(self, text=""):
         self.out.write("    " * self.indent + text + "\n")
@@ -173,6 +204,40 @@ class UnitCompiler:
         self._counter = 0
         self._const_counter = 0
         self.code = _CodeBuffer()
+        self._elided = self._elidable_mux_arrays()
+
+    def _all_instructions(self):
+        unit = self.unit
+        if unit.is_entity:
+            return list(unit.body)
+        return [inst for block in unit.blocks
+                for inst in block.instructions]
+
+    def _elidable_mux_arrays(self):
+        """2-element ``array`` insts consumed by exactly one i1 ``mux``.
+
+        ``c ? a : b`` lowers to ``mux [b, a], c``; when the pair is
+        private, the tuple build is fused into a Python conditional
+        expression (the instcombine LLVM would do for Blaze).
+        """
+        instructions = self._all_instructions()
+        uses = {}
+        for inst in instructions:
+            for operand in inst.operands:
+                key = id(operand)
+                uses[key] = uses.get(key, 0) + 1
+        elided = set()
+        for inst in instructions:
+            if inst.opcode != "mux":
+                continue
+            arr, sel = inst.operands
+            if (getattr(arr, "opcode", None) == "array"
+                    and not arr.attrs.get("splat")
+                    and len(arr.operands) == 2
+                    and sel.type.is_int and sel.type.width == 1
+                    and uses.get(id(arr)) == 1):
+                elided.add(id(arr))
+        return elided
 
     # -- naming ------------------------------------------------------------
 
@@ -238,15 +303,17 @@ class UnitCompiler:
             return f"(~{n(ops[0])}) & {hex(mask(inst.type.width))}"
         if op == "neg":
             return f"(-{n(ops[0])}) & {hex(mask(inst.type.width))}"
-        if op == "shl":
+        if op in ("shl", "shr"):
+            # Unknown bits (X/Z) in either operand propagate: all-X result
+            # on lN values, a SimulationError on iN (no unknown encoding).
+            a, b = n(ops[0]), n(ops[1])
             if ops[0].type.is_logic:
-                return self._logic_shift(inst, "<<")
-            return (f"({n(ops[0])} << {n(ops[1])}) & "
-                    f"{hex(mask(inst.type.width))}")
-        if op == "shr":
-            if ops[0].type.is_logic:
-                return self._logic_shift(inst, ">>")
-            return f"{n(ops[0])} >> {n(ops[1])}"
+                return f"_lshift({op!r}, {a}, {b})"
+            if ops[1].type.is_logic:
+                return f"_ishift({op!r}, {a}, {b}, {inst.type.width})"
+            if op == "shl":
+                return f"({a} << {b}) & {hex(mask(inst.type.width))}"
+            return f"{a} >> {b}"
         if op == "zext":
             return n(ops[0])
         if op == "sext":
@@ -271,19 +338,19 @@ class UnitCompiler:
         if op == "inss":
             return self._inss_expr(inst)
         if op == "mux":
+            if id(ops[0]) in self._elided:
+                f_val, t_val = ops[0].operands
+                return f"({n(t_val)} if {n(ops[1])} else {n(f_val)})"
             arr, sel = n(ops[0]), n(ops[1])
             if ops[1].type.is_logic:
                 sel = f"_idx({sel})"
             length = ops[0].type.length
+            if length == 2 and ops[1].type.is_int and \
+                    ops[1].type.width == 1:
+                # i1 selector over two choices needs no clamping.
+                return f"{arr}[{sel}]"
             return f"{arr}[{sel} if {sel} < {length} else {length - 1}]"
         raise SimulationError(f"blaze: cannot compile pure op {op}")
-
-    def _logic_shift(self, inst, pyop):
-        a = self.name(inst.operands[0])
-        amt = self.name(inst.operands[1])
-        w = inst.type.width
-        return (f"(LogicVec.from_int({a}.to_int() {pyop} {amt}, {w}) "
-                f"if {a}.is_two_valued else LogicVec.filled('X', {w}))")
 
     def _extf_expr(self, inst):
         base = inst.operands[0]
@@ -345,6 +412,11 @@ class UnitCompiler:
         step = self._slice_step(inst)
         return f"_insert({n(base)}, ({step!r},), {n(value)})"
 
+    def probe_expr(self, inst):
+        """Inline probe: direct ``.value`` read for whole signals."""
+        s = self.name(inst.operands[0])
+        return f"({s}.value if type({s}) is _Sig else probe({s}))"
+
 
 def _rt_logic_cmp(op, a, b):
     a_, b_ = a.to_x01(), b.to_x01()
@@ -358,11 +430,35 @@ _BASE_GLOBALS["_lcmp"] = _rt_logic_cmp
 
 
 class ProcessCompiler(UnitCompiler):
-    """Compile a process (or function) body into a Python function."""
+    """Compile a process (or function) body into a Python function.
+
+    ``var``/``alloc`` cells whose pointer never escapes (only ever the
+    pointer operand of ``ld``/``st``/``free``) are promoted to plain
+    Python locals — the mem2reg optimization LLVM would perform for the
+    paper's Blaze.
+    """
+
+    def _find_promotable_cells(self):
+        cells = set()
+        for block in self.unit.blocks:
+            for inst in block.instructions:
+                if inst.opcode in ("var", "alloc"):
+                    cells.add(id(inst))
+        if not cells:
+            return cells
+        for block in self.unit.blocks:
+            for inst in block.instructions:
+                op = inst.opcode
+                for pos, operand in enumerate(inst.operands):
+                    if id(operand) in cells and op != "free" and \
+                            not (pos == 0 and op in ("ld", "st")):
+                        cells.discard(id(operand))
+        return cells
 
     def compile_process(self):
         unit = self.unit
         code = self.code
+        self._promoted = self._find_promotable_cells()
         block_index = {id(b): i for i, b in enumerate(unit.blocks)}
         code.line("def __process__(B, probe, drive, call, intrinsic):")
         code.indent += 1
@@ -386,6 +482,7 @@ class ProcessCompiler(UnitCompiler):
     def compile_function(self):
         unit = self.unit
         code = self.code
+        self._promoted = self._find_promotable_cells()
         block_index = {id(b): i for i, b in enumerate(unit.blocks)}
         code.line("def __function__(B, call, intrinsic):")
         code.indent += 1
@@ -417,6 +514,8 @@ class ProcessCompiler(UnitCompiler):
             op = inst.opcode
             if op == "phi":
                 continue  # materialized at the branch edges
+            if id(inst) in self._elided:
+                continue  # fused into its consuming mux
             emitted = True
             if op == "drv":
                 cond = inst.drv_condition()
@@ -425,16 +524,31 @@ class ProcessCompiler(UnitCompiler):
                     f"{prefix}drive({n(inst.drv_signal())}, "
                     f"{n(inst.drv_value())}, {n(inst.drv_delay())})")
             elif op == "prb":
-                code.line(f"{n(inst)} = probe({n(inst.operands[0])})")
+                code.line(f"{n(inst)} = {self.probe_expr(inst)}")
             elif op == "var" or op == "alloc":
-                code.line(f"{n(inst)} = [{n(inst.operands[0])}]")
+                if id(inst) in self._promoted:
+                    code.line(f"{n(inst)} = {n(inst.operands[0])}")
+                else:
+                    code.line(f"{n(inst)} = [{n(inst.operands[0])}]")
             elif op == "free":
                 code.line("pass")
             elif op == "ld":
-                code.line(f"{n(inst)} = _ld({n(inst.operands[0])})")
+                ptr = inst.operands[0]
+                if id(ptr) in self._promoted:
+                    code.line(f"{n(inst)} = {n(ptr)}")
+                elif getattr(ptr, "opcode", None) in ("var", "alloc"):
+                    # The pointer is this unit's own cell: index directly.
+                    code.line(f"{n(inst)} = {n(ptr)}[0]")
+                else:
+                    code.line(f"{n(inst)} = _ld({n(ptr)})")
             elif op == "st":
-                code.line(f"_st({n(inst.operands[0])}, "
-                          f"{n(inst.operands[1])})")
+                ptr = inst.operands[0]
+                if id(ptr) in self._promoted:
+                    code.line(f"{n(ptr)} = {n(inst.operands[1])}")
+                elif getattr(ptr, "opcode", None) in ("var", "alloc"):
+                    code.line(f"{n(ptr)}[0] = {n(inst.operands[1])}")
+                else:
+                    code.line(f"_st({n(ptr)}, {n(inst.operands[1])})")
             elif op == "sig":
                 raise SimulationError(
                     "blaze: sig inside processes is not supported; "
@@ -517,46 +631,80 @@ class ProcessCompiler(UnitCompiler):
 
 
 class EntityCompiler(UnitCompiler):
-    """Compile an entity body into an activation function.
+    """Compile an entity body into a bind-time closure factory.
 
-    Slots: all args plus the results of elaboration-time instructions
-    (``sig``, ``del``); ``state`` holds previous reg trigger values.
+    The generated ``__bind__(B, S, ...)`` runs once per instance (after
+    the hierarchy is fully elaborated): it unpacks the binding tuple,
+    evaluates every hoistable instruction — constants, static sub-signal
+    projections, pure ops whose operands are all bound — and returns the
+    ``__activate__`` closure holding only the per-activation work.
     """
 
     def compile_entity(self):
         unit = self.unit
-        code = self.code
         # Reserve binding slots for args and persistent values first.
         for arg in unit.args:
             self.bind_slot(arg)
         for inst in unit.body:
             if inst.opcode in ("sig", "del"):
                 self.bind_slot(inst)
-        code.line("def __activate__(B, S, probe, drive, drive_del, "
-                  "drive_reg, call, intrinsic):")
-        code.indent += 1
+        bind = _CodeBuffer(indent=1)
+        activate = _CodeBuffer(indent=2)
+        bound = set()
+        self._probe_flags = {}
         for arg in unit.args:
-            code.line(f"{self.name(arg)} = B[{self.slots[id(arg)]}]")
+            bind.line(f"{self.name(arg)} = B[{self.slots[id(arg)]}]")
+            bound.add(id(arg))
         emitted = False
         for inst in unit.body:
             op = inst.opcode
             if op in ("inst", "con"):
                 continue
-            emitted = True
+            if id(inst) in self._elided:
+                # Fused into its consuming mux; usable at bind time when
+                # its own operands are.
+                if all(id(o) in bound for o in inst.operands):
+                    bound.add(id(inst))
+                continue
             n = self.name
             if op == "sig":
-                code.line(f"{n(inst)} = B[{self.slots[id(inst)]}]")
-            elif op == "del":
-                code.line(f"{n(inst)} = B[{self.slots[id(inst)]}]")
-                code.line(
-                    f"drive_del({id(inst)}, {n(inst)}, "
-                    f"probe({n(inst.operands[0])}), {n(inst.operands[1])})")
-            elif op == "prb":
-                code.line(f"{n(inst)} = probe({n(inst.operands[0])})")
+                bind.line(f"{n(inst)} = B[{self.slots[id(inst)]}]")
+                bound.add(id(inst))
+                continue
+            if op == "del":
+                bind.line(f"{n(inst)} = B[{self.slots[id(inst)]}]")
+                bound.add(id(inst))
+                src = n(inst.operands[0])
+                flag = self._probe_flag(bind, inst.operands[0], bound)
+                value = (f"({src}.value if {flag} else probe({src}))"
+                         if flag else f"probe({src})")
+                activate.line(
+                    f"drive_del({id(inst)}, {n(inst)}, {value}, "
+                    f"{n(inst.operands[1])})")
+                emitted = True
+                continue
+            if op in _HOISTABLE_OPS and \
+                    all(id(o) in bound for o in inst.operands):
+                self.code = bind
+                bind.line(f"{n(inst)} = {self.expr(inst)}")
+                bound.add(id(inst))
+                continue
+            emitted = True
+            self.code = activate
+            if op == "prb":
+                src_op = inst.operands[0]
+                flag = self._probe_flag(bind, src_op, bound)
+                src = n(src_op)
+                if flag:
+                    activate.line(
+                        f"{n(inst)} = {src}.value if {flag} "
+                        f"else probe({src})")
+                else:
+                    activate.line(f"{n(inst)} = probe({src})")
             elif op == "drv":
                 cond = inst.drv_condition()
                 prefix = f"if {n(cond)}: " if cond is not None else ""
-                code.line(
+                activate.line(
                     f"{prefix}drive({n(inst.drv_signal())}, "
                     f"{n(inst.drv_value())}, {n(inst.drv_delay())})")
             elif op == "reg":
@@ -566,18 +714,36 @@ class EntityCompiler(UnitCompiler):
                 tail = "," if len(inst.operands) == 1 else ""
                 target = f"call({inst.callee!r}, ({args}{tail}))"
                 if inst.type.is_void:
-                    code.line(target)
+                    activate.line(target)
                 else:
-                    code.line(f"{n(inst)} = {target}")
+                    activate.line(f"{n(inst)} = {target}")
             else:
-                code.line(f"{n(inst)} = {self.expr(inst)}")
+                activate.line(f"{n(inst)} = {self.expr(inst)}")
         if not emitted:
-            code.line("pass")
-        code.indent -= 1
-        source = code.source()
+            activate.line("pass")
+        out = _CodeBuffer()
+        out.line("def __bind__(B, S, probe, drive, drive_del, drive_reg, "
+                 "call, intrinsic):")
+        out.out.write(bind.source())
+        out.out.write("    def __activate__():\n")
+        out.out.write(activate.source())
+        out.out.write("    return __activate__\n")
+        source = out.source()
         namespace = dict(self.globals)
         exec(compile(source, f"<blaze:{unit.name}>", "exec"), namespace)
-        return CompiledUnit(unit, source, namespace["__activate__"], self)
+        return CompiledUnit(unit, source, namespace["__bind__"], self)
+
+    def _probe_flag(self, bind, operand, bound):
+        """A bind-time ``type(x) is _Sig`` flag for a bound signal value."""
+        if id(operand) not in bound:
+            return None
+        flag = self._probe_flags.get(id(operand))
+        if flag is None:
+            src = self.name(operand)
+            flag = f"w_{src}"
+            bind.line(f"{flag} = type({src}) is _Sig")
+            self._probe_flags[id(operand)] = flag
+        return flag
 
     def _emit_reg(self, inst):
         code = self.code
@@ -659,27 +825,39 @@ class BlazeDesign(Design):
 
 
 class BlazeProcessInstance(ProcessInstance):
-    """A process running as a compiled generator."""
+    """A process running as a compiled generator.
+
+    The generator is created at bind time (after full elaboration) so
+    its signal bindings are resolved through ``con`` merging once.
+    """
 
     def __init__(self, design, unit, path, port_map):
         self._gen = None
         super().__init__(design, unit, path, port_map)
-        cu = design.compiled(unit)
+
+    def bind(self):
+        design = self.design
+        cu = design.compiled(self.unit)
         bindings = [None] * len(cu.slots)
-        for arg in unit.args:
-            bindings[cu.slots[id(arg)]] = port_map[id(arg)]
+        for arg in self.unit.args:
+            bindings[cu.slots[id(arg)]] = _rt_resolve(self.env[id(arg)])
         kernel = design.kernel
+        order = self.order
 
         def drive(sig, value, delay):
-            kernel.schedule_drive(self.order, sig, value, delay)
+            kernel.schedule_drive(order, sig, value, delay)
 
         self._gen = cu.fn(
             tuple(bindings), kernel.probe, drive, design.call_function,
             kernel.intrinsic)
 
     def _execute(self, kernel):
+        gen = self._gen
+        if gen is None:
+            self.bind()
+            gen = self._gen
         try:
-            timeout, signals = self._gen.send(None)
+            timeout, signals = gen.send(None)
         except StopIteration:
             self.status = "halted"
             return
@@ -687,41 +865,18 @@ class BlazeProcessInstance(ProcessInstance):
 
 
 class BlazeEntityInstance(EntityInstance):
-    """An entity whose re-activation runs compiled code.
+    """An entity whose re-activation is one compiled closure.
 
     Initial elaboration (signal creation, hierarchy, sensitivity) is
-    inherited from the interpreter; afterwards the bindings tuple is built
-    and all re-activations go through the compiled function.
+    inherited from the interpreter; :meth:`bind` then resolves the
+    bindings and asks the compiled ``__bind__`` factory for the
+    activation closure.  Binding is deferred to ``Design.finalize`` so
+    every ``con`` merge in the hierarchy has already happened.
     """
 
     def __init__(self, design, unit, path, port_map):
-        self._ready = False
+        self._activate = None
         super().__init__(design, unit, path, port_map)
-        cu = design.compiled(unit)
-        bindings = [None] * len(cu.slots)
-        for key, slot in cu.slots.items():
-            bindings[slot] = self.env[key]
-        self._bindings = tuple(bindings)
-        self._state = [0] * cu.n_state
-        for inst_id, (base, count) in cu.reg_slots.items():
-            prev = self.reg_state.get(inst_id, [])
-            for i in range(count):
-                self._state[base + i] = prev[i]
-        self._fn = cu.fn
-        kernel = design.kernel
-        order = self.order
-
-        def drive(sig, value, delay):
-            kernel.schedule_drive(order, sig, value, delay)
-
-        def drive_del(key, sig, value, delay):
-            kernel.schedule_drive(("del", order, key), sig, value, delay)
-
-        def drive_reg(key, sig, value, delay):
-            kernel.schedule_drive(("reg", order, key), sig, value, delay)
-
-        self._drive_fns = (drive, drive_del, drive_reg)
-        self._ready = True
 
     def _instantiate(self, inst):
         callee = self.design.module.get(inst.callee)
@@ -738,13 +893,39 @@ class BlazeEntityInstance(EntityInstance):
         else:
             BlazeProcessInstance(self.design, callee, child_path, port_map)
 
+    def bind(self):
+        design = self.design
+        cu = design.compiled(self.unit)
+        bindings = [None] * len(cu.slots)
+        for key, slot in cu.slots.items():
+            bindings[slot] = _rt_resolve(self.env[key])
+        state = [0] * cu.n_state
+        for inst_id, (base, count) in cu.reg_slots.items():
+            prev = self.reg_state.get(inst_id, [])
+            for i in range(count):
+                state[base + i] = prev[i]
+        kernel = design.kernel
+        order = self.order
+
+        def drive(sig, value, delay):
+            kernel.schedule_drive(order, sig, value, delay)
+
+        def drive_del(key, sig, value, delay):
+            kernel.schedule_drive(("del", order, key), sig, value, delay)
+
+        def drive_reg(key, sig, value, delay):
+            kernel.schedule_drive(("reg", order, key), sig, value, delay)
+
+        self._activate = cu.fn(
+            bindings, state, kernel.probe, drive, drive_del, drive_reg,
+            design.call_function, kernel.intrinsic)
+
     def run(self, kernel):
-        if not self._ready:
-            return
-        drive, drive_del, drive_reg = self._drive_fns
-        self._fn(self._bindings, self._state, kernel.probe, drive,
-                 drive_del, drive_reg, self.design.call_function,
-                 kernel.intrinsic)
+        fn = self._activate
+        if fn is None:
+            self.bind()
+            fn = self._activate
+        fn()
 
 
 def elaborate_compiled(module, top, kernel=None, trace=None):
@@ -763,4 +944,5 @@ def elaborate_compiled(module, top, kernel=None, trace=None):
             f"{top}.{arg.name}", arg.type, default_value(arg.type.element))
         ports[id(arg)] = sig
     BlazeEntityInstance(design, unit, top, ports)
+    design.finalize()
     return design

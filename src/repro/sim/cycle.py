@@ -14,6 +14,11 @@ scheduling; this module follows that architecture:
   (update, evaluate) rounds instead of the single global heap of
   :mod:`repro.sim.engine`.
 
+The signal net class (:class:`~repro.sim.engine.SignalInstance`) and the
+per-driver sorted timeline container are shared with the event-driven
+kernel — nets are elaboration artifacts, not scheduler policy — while the
+calendar, round ordering, and maturation loop remain independent.
+
 Cross-checking its traces against LLHD-Sim and Blaze reproduces the
 paper's "traces match between the simulators" claim with an independent
 implementation in the loop.
@@ -25,7 +30,7 @@ import heapq
 
 from ..ir.ninevalued import LogicVec
 from ..ir.units import UnitDecl
-from .engine import SignalRef
+from .engine import DriverTimeline, SignalInstance, SignalRef
 from .values import (
     SimulationError, default_value, extract_path, insert_path,
 )
@@ -40,46 +45,6 @@ def _advance(now, delay):
     if delay.epsilon > 0:
         return (now[0], now[1], now[2] + delay.epsilon)
     return (now[0], now[1] + 1, 0)
-
-
-class CycleSignal:
-    """A signal net in the cycle simulator."""
-
-    __slots__ = ("name", "type", "value", "pending", "proc_waiters",
-                 "entity_waiters", "index", "_rep")
-
-    def __init__(self, name, type, value, index):
-        self.name = name
-        self.type = type
-        self.value = value
-        self.index = index
-        self.pending = {}
-        self.proc_waiters = {}
-        self.entity_waiters = {}
-        self._rep = None
-
-    def find(self):
-        sig = self
-        while sig._rep is not None:
-            sig = sig._rep
-        node = self
-        while node._rep is not None and node._rep is not sig:
-            node._rep, node = sig, node._rep
-        return sig
-
-    def connect(self, other):
-        a, b = self.find(), other.find()
-        if a is b:
-            return a
-        if b.index < a.index:
-            a, b = b, a
-        b._rep = a
-        a.pending.update(b.pending)
-        a.proc_waiters.update(b.proc_waiters)
-        a.entity_waiters.update(b.entity_waiters)
-        if isinstance(a.value, LogicVec) and isinstance(b.value, LogicVec):
-            a.value = a.value.resolve(b.value)
-        return a
 
 
 class _Round:
@@ -135,7 +100,7 @@ class CycleKernel:
     # -- construction (same surface as engine.Kernel) ------------------------
 
     def create_signal(self, name, type, initial):
-        sig = CycleSignal(name, type, initial, len(self.signals))
+        sig = SignalInstance(name, type, initial, len(self.signals))
         self.signals.append(sig)
         if self.trace is not None:
             self.trace.record((0, 0, 0), sig, initial)
@@ -156,11 +121,12 @@ class CycleKernel:
         else:
             signal, path = target.find(), ()
         when = _advance(self.now, delay)
-        timeline = signal.pending.setdefault(driver_key, [])
-        timeline[:] = [t for t in timeline if t[0] < when]
-        timeline.append((when, path, value))
+        timeline = signal.pending.get(driver_key)
+        if timeline is None:
+            timeline = signal.pending[driver_key] = DriverTimeline()
+        timeline.schedule(when, path, value)
         rnd = self._instant(when[0]).round_at((when[1], when[2]))
-        rnd.signals[id(signal)] = signal
+        rnd.signals[signal.index] = signal
 
     def schedule_resume(self, activity, delay):
         when = _advance(self.now, delay)
@@ -172,13 +138,15 @@ class CycleKernel:
         self._initials.append(activity)
 
     def add_process_waiter(self, signal, activity):
-        signal.find().proc_waiters[id(activity)] = activity
+        signal.find().proc_waiters[activity.order] = activity
 
     def remove_process_waiter(self, signal, activity):
-        signal.find().proc_waiters.pop(id(activity), None)
+        signal.find().proc_waiters.pop(activity.order, None)
 
     def add_entity_waiter(self, signal, activity):
-        signal.find().entity_waiters[id(activity)] = activity
+        sig = signal.find()
+        sig.entity_waiters[activity.order] = activity
+        sig._entity_list = None
 
     # -- probing & intrinsics ------------------------------------------------------
 
@@ -248,31 +216,28 @@ class CycleKernel:
                 self.stats["events"] += 1
                 if self._mature(signal.find(), self.now):
                     net = signal.find()
-                    for activity in net.proc_waiters.values():
-                        runnable[id(activity)] = activity
+                    runnable.update(net.proc_waiters)
                     net.proc_waiters.clear()
-                    for activity in net.entity_waiters.values():
-                        runnable[id(activity)] = activity
+                    for order, activity in net.entity_list():
+                        runnable[order] = activity
             for activity in rnd.resumes:
-                runnable[id(activity)] = activity
+                runnable[activity.order] = activity
             # Phase 2: evaluate in deterministic instance order.
-            for activity in sorted(runnable.values(), key=lambda a: a.order):
-                self.stats["activations"] += 1
-                activity.run(self)
+            self.stats["activations"] += len(runnable)
+            for order in sorted(runnable):
+                runnable[order].run(self)
 
     def _mature(self, sig, now):
         old = sig.value
         new = old
         due_all = []
         for timeline in sig.pending.values():
-            due = [t for t in timeline if t[0] <= now]
-            if not due:
-                continue
-            timeline[:] = [t for t in timeline if t[0] > now]
-            due_all.append(due[-1])
-        due_all.sort(key=lambda t: len(t[1]))
+            entry = timeline.mature(now)
+            if entry is not None:
+                due_all.append(entry)
+        due_all.sort(key=lambda t: len(t[0]))
         resolved = None
-        for _, path, value in due_all:
+        for path, value in due_all:
             if not path and isinstance(new, LogicVec) and \
                     isinstance(value, LogicVec):
                 resolved = value if resolved is None \
@@ -306,4 +271,5 @@ def elaborate_cycle(module, top, kernel=None, trace=None):
             f"{top}.{arg.name}", arg.type, default_value(arg.type.element))
         ports[id(arg)] = sig
     BlazeEntityInstance(design, unit, top, ports)
+    design.finalize()
     return design

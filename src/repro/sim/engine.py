@@ -14,16 +14,34 @@ epsilon)``:
 Driving uses the transport-delay model: each driver owns a pending
 transaction timeline per signal, and scheduling a transaction at time T
 cancels that driver's pending transactions at or after T.
+
+Hot-path structure (this is the inner loop of every simulation):
+
+* signals are slot-indexed — every net has a dense ``index`` assigned at
+  creation, and dedup marks / runnable sets key on integers, never on
+  ``id()`` of heap objects;
+* per-driver timelines are kept sorted (:class:`DriverTimeline`), so
+  transport cancellation is a bisect + truncate instead of rebuilding the
+  list on every drive, and maturation pops a sorted prefix;
+* entity sensitivity lists are precomputed: the set of entities observing
+  a net is frozen into a tuple the first time the net changes and reused
+  until the (elaboration-time-only) waiter set changes again.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, bisect_right
 
 from ..ir.ninevalued import LogicVec
 from .values import SimulationError, extract_path, insert_path
 
 ZERO_TIME = (0, 0, 0)
+
+# Event kinds in the kernel heap (ints compare faster than strings and
+# keep heap entries small).
+_UPDATE = 0
+_RESUME = 1
 
 
 def advance_time(now, delay):
@@ -41,6 +59,65 @@ def advance_time(now, delay):
     return (now[0], now[1] + 1, 0)
 
 
+class DriverTimeline:
+    """One driver's pending transactions on one net, sorted by time.
+
+    ``times`` and ``entries`` are parallel lists; ``times`` is strictly
+    increasing, which makes transport cancellation (drop everything at or
+    after the new transaction's time) a bisect + truncate and maturation
+    (consume everything due) a bisect + prefix pop.
+    """
+
+    __slots__ = ("times", "entries")
+
+    def __init__(self):
+        self.times = []
+        self.entries = []   # (path, value), parallel to times
+
+    def schedule(self, when, path, value):
+        """Add a transaction, cancelling this driver's work at/after it."""
+        times = self.times
+        if times and times[-1] >= when:
+            i = bisect_left(times, when)
+            del times[i:]
+            del self.entries[i:]
+        times.append(when)
+        self.entries.append((path, value))
+
+    def mature(self, now):
+        """Pop all transactions due at/before ``now``; return the latest."""
+        times = self.times
+        if not times or times[0] > now:
+            return None
+        i = bisect_right(times, now)
+        entry = self.entries[i - 1]
+        del times[:i]
+        del self.entries[:i]
+        return entry
+
+    def merge(self, other):
+        """Fold another timeline in (net merging via ``con``)."""
+        if not other.times:
+            return
+        if not self.times:
+            self.times = other.times
+            self.entries = other.entries
+            return
+        merged = sorted(
+            zip(self.times + other.times, self.entries + other.entries),
+            key=lambda te: te[0])
+        self.times = [t for t, _ in merged]
+        self.entries = [e for _, e in merged]
+
+    def __len__(self):
+        return len(self.times)
+
+    def __iter__(self):
+        """Iterate ``(time, path, value)`` triples (for tests/debugging)."""
+        for when, (path, value) in zip(self.times, self.entries):
+            yield (when, path, value)
+
+
 class SignalInstance:
     """One signal net at simulation time.
 
@@ -49,7 +126,8 @@ class SignalInstance:
     """
 
     __slots__ = ("name", "type", "value", "pending", "proc_waiters",
-                 "entity_waiters", "index", "_rep", "initial")
+                 "entity_waiters", "_entity_list", "index", "_rep",
+                 "initial")
 
     def __init__(self, name, type, initial, index):
         self.name = name
@@ -57,9 +135,10 @@ class SignalInstance:
         self.value = initial
         self.initial = initial
         self.index = index
-        self.pending = {}        # driver_key -> [(time, path, value), ...]
-        self.proc_waiters = {}   # id(activity) -> activity (one-shot)
-        self.entity_waiters = {}  # id(activity) -> activity (persistent)
+        self.pending = {}         # driver_key -> DriverTimeline
+        self.proc_waiters = {}    # activity.order -> activity (one-shot)
+        self.entity_waiters = {}  # activity.order -> activity (persistent)
+        self._entity_list = ()    # cached tuple of entity waiters
         self._rep = None
 
     def find(self):
@@ -82,12 +161,40 @@ class SignalInstance:
         if b.index < a.index:
             a, b = b, a
         b._rep = a
-        a.pending.update(b.pending)
+        # Merge pending timelines *per driver*: when both nets already
+        # carry transactions from the same driver key, the transactions
+        # interleave on the merged net instead of one set clobbering the
+        # other.
+        if b.pending:
+            a_pending = a.pending
+            for key, timeline in b.pending.items():
+                mine = a_pending.get(key)
+                if mine is None:
+                    a_pending[key] = timeline
+                else:
+                    mine.merge(timeline)
+            b.pending = {}
         a.proc_waiters.update(b.proc_waiters)
         a.entity_waiters.update(b.entity_waiters)
+        a._entity_list = None
         if isinstance(a.value, LogicVec) and isinstance(b.value, LogicVec):
             a.value = a.value.resolve(b.value)
+        elif a.value != b.value:
+            # Two-valued types have no resolution function: connecting
+            # nets whose current values disagree silently picks one, so
+            # diagnose instead.
+            raise SimulationError(
+                f"con of {a.name} and {b.name}: conflicting initial "
+                f"values ({a.value!r} vs {b.value!r}) on a type without "
+                f"a resolution function")
         return a
+
+    def entity_list(self):
+        """The precomputed sensitivity list: entities observing this net."""
+        ew = self._entity_list
+        if ew is None:
+            ew = self._entity_list = tuple(self.entity_waiters.items())
+        return ew
 
     def __repr__(self):
         return f"<signal {self.name}: {self.type}>"
@@ -125,7 +232,8 @@ class Kernel:
     * ``run(kernel)`` — execute until suspension; schedule follow-up work
       through kernel methods;
     * ``order`` — an integer used to order same-delta execution
-      deterministically.
+      deterministically (unique per activity, so it doubles as the
+      activity's slot in runnable sets).
     """
 
     MAX_DELTAS = 10_000
@@ -137,12 +245,13 @@ class Kernel:
         self.signals = []
         self._heap = []
         self._seq = 0
-        self._update_marks = set()   # (time, id(signal)) already queued
-        self._resume_marks = {}      # (time, id(activity)) -> activity
+        self._update_marks = set()   # (time, signal.index) already queued
         self.assertion_failures = []
         self.output = []             # llhd.print output lines
         self.finished = False
         self.stats = {"deltas": 0, "events": 0, "activations": 0}
+        # Hot-loop counters, folded into `stats` when `run` returns.
+        self._deltas = self._events = self._activations = 0
 
     # -- construction -------------------------------------------------------
 
@@ -161,26 +270,49 @@ class Kernel:
 
     def schedule_drive(self, driver_key, target, value, delay):
         """Schedule a drive transaction (transport-delay semantics)."""
-        signal, path = as_signal_ref(target)
-        when = advance_time(self.now, delay)
-        timeline = signal.pending.setdefault(driver_key, [])
-        # Transport model: forget this driver's transactions at/after `when`.
-        timeline[:] = [t for t in timeline if t[0] < when]
-        timeline.append((when, path, value))
-        mark = (when, id(signal))
-        if mark not in self._update_marks:
-            self._update_marks.add(mark)
-            self._push(when, "update", signal)
+        if type(target) is SignalRef:
+            signal = target.signal
+            path = target.path
+        else:
+            signal = target
+            path = ()
+        if signal._rep is not None:
+            signal = signal.find()
+        now = self.now
+        # advance_time, inlined (this is the hottest kernel entry point).
+        if delay.fs > 0:
+            when = (now[0] + delay.fs, delay.delta, delay.epsilon)
+        elif delay.delta > 0:
+            when = (now[0], now[1] + delay.delta, delay.epsilon)
+        elif delay.epsilon > 0:
+            when = (now[0], now[1], now[2] + delay.epsilon)
+        else:
+            when = (now[0], now[1] + 1, 0)
+        timeline = signal.pending.get(driver_key)
+        if timeline is None:
+            timeline = signal.pending[driver_key] = DriverTimeline()
+        times = timeline.times
+        if times and times[-1] >= when:
+            timeline.schedule(when, path, value)
+        else:
+            times.append(when)
+            timeline.entries.append((path, value))
+        mark = (when, signal.index)
+        marks = self._update_marks
+        if mark not in marks:
+            marks.add(mark)
+            self._seq += 1
+            heapq.heappush(self._heap, (when, self._seq, _UPDATE, signal))
 
     def schedule_resume(self, activity, delay):
         """Schedule an activity to run after ``delay`` (wait timeout)."""
         when = advance_time(self.now, delay)
-        self._push(when, "resume", activity)
+        self._push(when, _RESUME, activity)
         return when
 
     def schedule_initial(self, activity):
         """Schedule the initial execution of an activity at time zero."""
-        self._push(ZERO_TIME, "resume", activity)
+        self._push(ZERO_TIME, _RESUME, activity)
 
     # -- simulation loop -----------------------------------------------------------
 
@@ -189,79 +321,121 @@ class Kernel:
         limit = until_fs if until_fs is not None else self.max_time_fs
         deltas_at_fs = 0
         current_fs = -1
-        while self._heap and not self.finished:
-            time = self._heap[0][0]
-            if limit is not None and time[0] > limit:
-                break
-            if time[0] != current_fs:
-                current_fs = time[0]
-                deltas_at_fs = 0
-            else:
-                deltas_at_fs += 1
-                if deltas_at_fs > self.MAX_DELTAS:
-                    raise SimulationError(
-                        f"delta cycle limit exceeded at t={current_fs}fs "
-                        f"(combinational loop?)")
-            self.now = time
-            self._step(time)
+        heap = self._heap
+        try:
+            while heap and not self.finished:
+                time = heap[0][0]
+                if limit is not None and time[0] > limit:
+                    break
+                if time[0] != current_fs:
+                    current_fs = time[0]
+                    deltas_at_fs = 0
+                else:
+                    deltas_at_fs += 1
+                    if deltas_at_fs > self.MAX_DELTAS:
+                        raise SimulationError(
+                            f"delta cycle limit exceeded at t={current_fs}fs "
+                            f"(combinational loop?)")
+                self.now = time
+                self._step(time)
+        finally:
+            self._flush_stats()
         self.now = (self.now[0], 0, 0)
 
-    def _step(self, time):
-        """Process all events scheduled for exactly ``time``."""
-        updates = []
-        resumes = []
-        while self._heap and self._heap[0][0] == time:
-            _, _, kind, payload = heapq.heappop(self._heap)
-            self.stats["events"] += 1
-            if kind == "update":
-                updates.append(payload)
-            else:
-                resumes.append(payload)
-        runnable = {}
-        for signal in updates:
-            self._update_marks.discard((time, id(signal)))
-            changed = self._apply_transactions(signal, time)
-            if changed:
-                sig = signal.find()
-                for activity in sig.proc_waiters.values():
-                    runnable[id(activity)] = activity
-                sig.proc_waiters.clear()
-                for activity in sig.entity_waiters.values():
-                    runnable[id(activity)] = activity
-        for activity in resumes:
-            runnable[id(activity)] = activity
-        self.stats["deltas"] += 1
-        for activity in sorted(runnable.values(), key=lambda a: a.order):
-            self.stats["activations"] += 1
-            activity.run(self)
+    def _flush_stats(self):
+        stats = self.stats
+        stats["deltas"] += self._deltas
+        stats["events"] += self._events
+        stats["activations"] += self._activations
+        self._deltas = self._events = self._activations = 0
 
-    def _apply_transactions(self, signal, time):
-        """Mature due transactions on a net; True if the value changed."""
-        sig = signal.find()
-        old = sig.value
-        new = old
-        contributions = []
-        for timeline in sig.pending.values():
-            due = [t for t in timeline if t[0] <= time]
-            if not due:
-                continue
-            timeline[:] = [t for t in timeline if t[0] > time]
-            contributions.append(due[-1])
-        # Apply whole-signal drives first, then projected patches, so a
-        # same-instant patch of a slice wins over a whole-signal drive.
-        contributions.sort(key=lambda t: len(t[1]))
-        resolved_whole = None
-        for _, path, value in contributions:
-            if not path and isinstance(new, LogicVec) and \
-                    isinstance(value, LogicVec):
-                # Multiple whole-net drivers of an lN net resolve (IEEE 1164).
-                if resolved_whole is None:
-                    resolved_whole = value
-                else:
-                    resolved_whole = resolved_whole.resolve(value)
-                new = resolved_whole
+    def _step(self, time):
+        """Process all events scheduled for exactly ``time``.
+
+        Updates (net maturation) and resumes are interleaved as popped:
+        maturing a net only reads/writes that net and the runnable set,
+        so processing order within one instant does not affect the
+        outcome — activities still run once, in ``order`` order.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        apply = self._apply_transactions
+        runnable = {}
+        marks = self._update_marks
+        events = 0
+        while heap and heap[0][0] == time:
+            entry = pop(heap)
+            events += 1
+            if entry[2] == _UPDATE:
+                signal = entry[3]
+                marks.discard((time, signal.index))
+                sig = signal if signal._rep is None else signal.find()
+                if apply(sig, time):
+                    waiters = sig.proc_waiters
+                    if waiters:
+                        runnable.update(waiters)
+                        waiters.clear()
+                    ew = sig._entity_list
+                    if ew is None:
+                        ew = sig._entity_list = \
+                            tuple(sig.entity_waiters.items())
+                    if ew:
+                        runnable.update(ew)
             else:
-                new = insert_path(new, path, value)
+                activity = entry[3]
+                runnable[activity.order] = activity
+        self._deltas += 1
+        self._events += events
+        n = len(runnable)
+        self._activations += n
+        if n == 1:
+            for activity in runnable.values():
+                activity.run(self)
+        elif n:
+            for order in sorted(runnable):
+                runnable[order].run(self)
+
+    def _apply_transactions(self, sig, time):
+        """Mature due transactions on a net; True if the value changed."""
+        single = None
+        contributions = None
+        for timeline in sig.pending.values():
+            entry = timeline.mature(time)
+            if entry is None:
+                continue
+            if contributions is not None:
+                contributions.append(entry)
+            elif single is None:
+                single = entry
+            else:
+                contributions = [single, entry]
+                single = None
+        old = sig.value
+        if contributions is None:
+            if single is None:
+                return False
+            # Fast path: exactly one driver matured this instant.
+            path, value = single
+            new = insert_path(old, path, value) if path else value
+        else:
+            # Apply whole-signal drives first, then projected patches, so
+            # a same-instant patch of a slice wins over a whole-signal
+            # drive.
+            contributions.sort(key=lambda t: len(t[0]))
+            new = old
+            resolved_whole = None
+            for path, value in contributions:
+                if not path and isinstance(new, LogicVec) and \
+                        isinstance(value, LogicVec):
+                    # Multiple whole-net drivers of an lN net resolve
+                    # (IEEE 1164).
+                    if resolved_whole is None:
+                        resolved_whole = value
+                    else:
+                        resolved_whole = resolved_whole.resolve(value)
+                    new = resolved_whole
+                else:
+                    new = insert_path(new, path, value)
         if new == old:
             return False
         sig.value = new
@@ -272,16 +446,17 @@ class Kernel:
     # -- waiting -----------------------------------------------------------------
 
     def add_process_waiter(self, signal, activity):
-        sig = signal.find()
-        sig.proc_waiters[id(activity)] = activity
+        sig = signal if signal._rep is None else signal.find()
+        sig.proc_waiters[activity.order] = activity
 
     def remove_process_waiter(self, signal, activity):
-        sig = signal.find()
-        sig.proc_waiters.pop(id(activity), None)
+        sig = signal if signal._rep is None else signal.find()
+        sig.proc_waiters.pop(activity.order, None)
 
     def add_entity_waiter(self, signal, activity):
-        sig = signal.find()
-        sig.entity_waiters[id(activity)] = activity
+        sig = signal if signal._rep is None else signal.find()
+        sig.entity_waiters[activity.order] = activity
+        sig._entity_list = None
 
     # -- intrinsics ----------------------------------------------------------------
 
@@ -309,5 +484,11 @@ class Kernel:
 
     def probe(self, target):
         """Read the current value of a signal or projection."""
-        signal, path = as_signal_ref(target)
-        return extract_path(signal.value, path)
+        if type(target) is SignalRef:
+            signal = target.signal
+            if signal._rep is not None:
+                signal = signal.find()
+            return extract_path(signal.value, target.path)
+        if target._rep is None:
+            return target.value
+        return target.find().value

@@ -14,7 +14,16 @@ Semantics notes:
   sign (as in VHDL's mod/rem pair).
 * ``lN`` logic ops use the IEEE 1164 tables; arithmetic on ``lN`` degrades
   to all-``X`` unless both operands are two-valued.
+* shifts of an ``lN`` value degrade to all-``X`` when either the shifted
+  value or the shift amount contains non-two-valued bits, mirroring the
+  arithmetic rule; an unknown shift amount applied to an ``iN`` value is
+  an error (an integer cannot represent "unknown").
 * ``eq``/``neq`` on ``lN`` compare the X01-normalized bits.
+
+``evaluate`` dispatches through :data:`EVALUATORS`, a per-opcode function
+table — interpreters resolve the evaluator once per instruction when they
+predecode (see :mod:`repro.sim.plan`) instead of re-matching opcode
+strings on every execution.
 """
 
 from __future__ import annotations
@@ -107,6 +116,35 @@ def _compare(op, a, b, inst):
     raise SimulationError(f"unknown comparison {op}")
 
 
+def shift_amount(amount):
+    """Normalize a shift amount to an int, or None if it is unknown."""
+    if isinstance(amount, LogicVec):
+        if not amount.is_two_valued:
+            return None
+        return amount.to_int()
+    return amount
+
+
+def logic_shift(op, a, amount):
+    """Shift an ``lN`` value, propagating unknowns as all-``X``."""
+    amount = shift_amount(amount)
+    if amount is None or not a.is_two_valued:
+        return LogicVec.filled("X", a.width)
+    if op == "shl":
+        return LogicVec.from_int(a.to_int() << amount, a.width)
+    return LogicVec.from_int(a.to_int() >> amount, a.width)
+
+
+def int_shift(op, a, amount, width):
+    """Shift an ``iN`` value; an unknown amount has no iN encoding."""
+    amount = shift_amount(amount)
+    if amount is None:
+        raise SimulationError(f"{op}: shift amount is unknown (X)")
+    if op == "shl":
+        return (a << amount) & mask(width)
+    return a >> amount
+
+
 def path_of(inst):
     """The projection path step for an extf/exts on a signal or pointer."""
     if inst.opcode == "extf":
@@ -123,76 +161,6 @@ def path_of(inst):
     else:
         kind = "array"
     return ("slice", inst.attrs["offset"], inst.attrs["length"], kind)
-
-
-def evaluate(inst, operands):
-    """Evaluate one pure instruction; ``operands`` are runtime values."""
-    op = inst.opcode
-    if op == "const":
-        return inst.attrs["value"]
-    if op in ("add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
-              "srem", "and", "or", "xor"):
-        a, b = operands
-        if isinstance(a, LogicVec):
-            return _logic_binary(op, a, b)
-        return _int_binary(op, a, b, inst.type.width)
-    if op in ("eq", "neq", "ult", "ugt", "ule", "uge", "slt", "sgt", "sle",
-              "sge"):
-        return _compare(op, operands[0], operands[1], inst)
-    if op == "not":
-        a = operands[0]
-        if isinstance(a, LogicVec):
-            return a.not_()
-        return (~a) & mask(inst.type.width)
-    if op == "neg":
-        return (-operands[0]) & mask(inst.type.width)
-    if op == "shl":
-        a, amount = operands
-        if isinstance(a, LogicVec):
-            if not a.is_two_valued:
-                return LogicVec.filled("X", a.width)
-            return LogicVec.from_int(a.to_int() << amount, a.width)
-        return (a << amount) & mask(inst.type.width)
-    if op == "shr":
-        a, amount = operands
-        if isinstance(a, LogicVec):
-            if not a.is_two_valued:
-                return LogicVec.filled("X", a.width)
-            return LogicVec.from_int(a.to_int() >> amount, a.width)
-        return a >> amount
-    if op == "zext":
-        return operands[0]
-    if op == "sext":
-        src_width = inst.operands[0].type.width
-        return from_signed(to_signed(operands[0], src_width),
-                           inst.type.width)
-    if op == "trunc":
-        return operands[0] & mask(inst.type.width)
-    if op == "array":
-        if inst.attrs.get("splat"):
-            return tuple(operands[0] for _ in range(inst.type.length))
-        return tuple(operands)
-    if op == "struct":
-        return tuple(operands)
-    if op == "extf":
-        return _eval_extf(inst, operands)
-    if op == "insf":
-        return _eval_insf(inst, operands)
-    if op == "exts":
-        agg = operands[0]
-        return extract_path(agg, (path_of(inst),))
-    if op == "inss":
-        agg, value = operands
-        return insert_path(agg, (path_of(inst),), value)
-    if op == "mux":
-        choices, sel = operands
-        if isinstance(sel, LogicVec):
-            if not sel.is_two_valued:
-                raise SimulationError("mux selector is unknown (X)")
-            sel = sel.to_int()
-        index = min(sel, len(choices) - 1)
-        return choices[index]
-    raise SimulationError(f"evaluate: not a pure instruction: {op}")
 
 
 def _eval_extf(inst, operands):
@@ -223,3 +191,113 @@ def _eval_insf(inst, operands):
         raise SimulationError(
             f"insf index {index} out of range for {len(agg)} elements")
     return agg[:index] + (value,) + agg[index + 1:]
+
+
+def _eval_const(inst, operands):
+    return inst.attrs["value"]
+
+
+def _eval_binary(inst, operands):
+    a, b = operands
+    if isinstance(a, LogicVec):
+        return _logic_binary(inst.opcode, a, b)
+    return _int_binary(inst.opcode, a, b, inst.type.width)
+
+
+def _eval_compare(inst, operands):
+    return _compare(inst.opcode, operands[0], operands[1], inst)
+
+
+def _eval_not(inst, operands):
+    a = operands[0]
+    if isinstance(a, LogicVec):
+        return a.not_()
+    return (~a) & mask(inst.type.width)
+
+
+def _eval_neg(inst, operands):
+    return (-operands[0]) & mask(inst.type.width)
+
+
+def _eval_shift(inst, operands):
+    a, amount = operands
+    if isinstance(a, LogicVec):
+        return logic_shift(inst.opcode, a, amount)
+    return int_shift(inst.opcode, a, amount, inst.type.width)
+
+
+def _eval_zext(inst, operands):
+    return operands[0]
+
+
+def _eval_sext(inst, operands):
+    src_width = inst.operands[0].type.width
+    return from_signed(to_signed(operands[0], src_width), inst.type.width)
+
+
+def _eval_trunc(inst, operands):
+    return operands[0] & mask(inst.type.width)
+
+
+def _eval_array(inst, operands):
+    if inst.attrs.get("splat"):
+        return tuple(operands[0] for _ in range(inst.type.length))
+    return tuple(operands)
+
+
+def _eval_struct(inst, operands):
+    return tuple(operands)
+
+
+def _eval_exts(inst, operands):
+    return extract_path(operands[0], (path_of(inst),))
+
+
+def _eval_inss(inst, operands):
+    agg, value = operands
+    return insert_path(agg, (path_of(inst),), value)
+
+
+def _eval_mux(inst, operands):
+    choices, sel = operands
+    if isinstance(sel, LogicVec):
+        if not sel.is_two_valued:
+            raise SimulationError("mux selector is unknown (X)")
+        sel = sel.to_int()
+    return choices[min(sel, len(choices) - 1)]
+
+
+#: Per-opcode evaluator functions ``fn(inst, operands) -> value``.
+EVALUATORS = {
+    "const": _eval_const,
+    "not": _eval_not,
+    "neg": _eval_neg,
+    "shl": _eval_shift,
+    "shr": _eval_shift,
+    "zext": _eval_zext,
+    "sext": _eval_sext,
+    "trunc": _eval_trunc,
+    "array": _eval_array,
+    "struct": _eval_struct,
+    "extf": _eval_extf,
+    "insf": _eval_insf,
+    "exts": _eval_exts,
+    "inss": _eval_inss,
+    "mux": _eval_mux,
+}
+for _op in ("add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
+            "srem", "and", "or", "xor"):
+    EVALUATORS[_op] = _eval_binary
+for _op in ("eq", "neq", "ult", "ugt", "ule", "uge", "slt", "sgt", "sle",
+            "sge"):
+    EVALUATORS[_op] = _eval_compare
+del _op
+
+
+def evaluate(inst, operands):
+    """Evaluate one pure instruction; ``operands`` are runtime values."""
+    fn = EVALUATORS.get(inst.opcode)
+    if fn is None:
+        raise SimulationError(
+            f"evaluate: not a pure instruction: {inst.opcode}")
+    return fn(inst, operands)

@@ -1,10 +1,14 @@
 """LLHD-Sim: the reference interpreter.
 
 Deliberately the *simplest possible* simulator of the LLHD instruction set
-(paper, section 6.1): units are executed by walking their instruction
-objects one at a time.  The compiled simulator (:mod:`repro.sim.blaze`)
-shares this module's elaboration and the kernel, but replaces the
-instruction walk with generated Python code.
+(paper, section 6.1): units are executed by walking their instructions.
+Since PR 2 the walk is *predecoded*: each unit is lowered once into a plan
+of per-instruction step closures (:mod:`repro.sim.plan`), so the hot loop
+no longer re-matches opcode strings or rebuilds operand lists — but values
+still flow through an interpreted environment, instruction by instruction.
+The compiled simulator (:mod:`repro.sim.blaze`) shares this module's
+elaboration and the kernel, and replaces the instruction walk with
+generated Python code.
 
 Elaboration instantiates the design hierarchy: every ``sig`` becomes a
 :class:`~repro.sim.engine.SignalInstance`, every ``inst`` recursively
@@ -17,10 +21,13 @@ registering data-flow sensitivity for re-execution.
 from __future__ import annotations
 
 from ..ir.units import UnitDecl
-from ..ir.values import Argument
-from .engine import Kernel, SignalInstance, SignalRef, advance_time
-from .eval import evaluate
-from .values import SimulationError, default_value, extract_path, insert_path
+from .engine import Kernel, SignalInstance, SignalRef
+from .eval import evaluate, path_of
+from .plan import (
+    Cell, CellRef, _as_cellref, _dynamic_index, _Timeout,
+    build_entity_plan, build_function_plan, build_process_plan,
+)
+from .values import SimulationError, default_value, extract_path
 
 _PURE_OPS = frozenset({
     "const", "add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
@@ -28,44 +35,6 @@ _PURE_OPS = frozenset({
     "ult", "ugt", "ule", "uge", "slt", "sgt", "sle", "sge", "zext", "sext",
     "trunc", "array", "struct", "mux", "inss",
 })
-
-
-class Cell:
-    """A mutable memory cell backing ``var``/``alloc``."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value):
-        self.value = value
-
-
-class CellRef:
-    """A projection into a cell: result of extf/exts on a pointer."""
-
-    __slots__ = ("cell", "path")
-
-    def __init__(self, cell, path=()):
-        self.cell = cell
-        self.path = tuple(path)
-
-    def load(self):
-        return extract_path(self.cell.value, self.path)
-
-    def store(self, value):
-        self.cell.value = insert_path(self.cell.value, self.path, value)
-
-    def project(self, step):
-        return CellRef(self.cell, self.path + (step,))
-
-
-def _dynamic_index(value):
-    from ..ir.ninevalued import LogicVec
-
-    if isinstance(value, LogicVec):
-        if not value.is_two_valued:
-            raise SimulationError("dynamic index is unknown (X)")
-        return value.to_int()
-    return value
 
 
 class Design:
@@ -78,6 +47,9 @@ class Design:
         self.activities = []
         self.signal_by_name = {}
         self._order = 0
+        self._proc_plans = {}     # id(unit) -> entry BlockPlan
+        self._entity_plans = {}   # id(unit) -> tuple of steps
+        self._func_plans = {}     # id(unit) -> entry BlockPlan
 
     def next_order(self):
         self._order += 1
@@ -91,6 +63,34 @@ class Design:
     def signal(self, name):
         """Look up a signal by hierarchical name (e.g. ``"top.clk"``)."""
         return self.signal_by_name[name]
+
+    def proc_plan(self, unit):
+        """The predecoded plan for a process unit (built once per unit)."""
+        plan = self._proc_plans.get(id(unit))
+        if plan is None:
+            plan = self._proc_plans[id(unit)] = build_process_plan(unit, self.kernel)
+        return plan
+
+    def entity_plan(self, unit):
+        """The predecoded re-activation steps for an entity unit."""
+        plan = self._entity_plans.get(id(unit))
+        if plan is None:
+            plan = self._entity_plans[id(unit)] = build_entity_plan(unit, self.kernel)
+        return plan
+
+    def function_plan(self, unit):
+        """The predecoded plan for a function unit."""
+        plan = self._func_plans.get(id(unit))
+        if plan is None:
+            plan = self._func_plans[id(unit)] = build_function_plan(unit, self.kernel)
+        return plan
+
+    def finalize(self):
+        """Hook called when the hierarchy is fully elaborated."""
+        for activity in self.activities:
+            bind = getattr(activity, "bind", None)
+            if bind is not None:
+                bind()
 
 
 def elaborate(module, top, kernel=None, trace=None):
@@ -109,7 +109,20 @@ def elaborate(module, top, kernel=None, trace=None):
             f"{top}.{arg.name}", arg.type, default_value(arg.type.element))
         ports[id(arg)] = sig
     EntityInstance(design, unit, top, ports)
+    design.finalize()
     return design
+
+
+class _FunctionFrame:
+    """One function invocation: the activity context for plan steps."""
+
+    __slots__ = ("functions", "path", "design", "result")
+
+    def __init__(self, functions, path, design):
+        self.functions = functions
+        self.path = path
+        self.design = design
+        self.result = None
 
 
 class _FunctionInterpreter:
@@ -124,75 +137,33 @@ class _FunctionInterpreter:
     def call(self, name, args, where=""):
         if name.startswith("llhd."):
             return self.kernel.intrinsic(name, args, where)
-        func = self.design.module.get(name)
+        design = self.design
+        func = design.module.get(name)
         if func is None or isinstance(func, UnitDecl):
             raise SimulationError(f"call to undefined function @{name}")
         env = {}
         for arg, value in zip(func.args, args):
             env[id(arg)] = value
-        block = func.entry
-        prev_block = None
-        steps = 0
-        while True:
-            for inst in block.instructions:
-                steps += 1
-                if steps > self.MAX_STEPS:
-                    raise SimulationError(
-                        f"@{name}: function execution exceeded "
-                        f"{self.MAX_STEPS} steps")
-                op = inst.opcode
-                if op == "phi":
-                    env[id(inst)] = env[id(inst.phi_value_for(prev_block))]
-                elif op in _PURE_OPS:
-                    env[id(inst)] = evaluate(
-                        inst, [env[id(o)] for o in inst.operands])
-                elif op in ("extf", "exts"):
-                    env[id(inst)] = _interp_ext(inst, env)
-                elif op == "insf":
-                    env[id(inst)] = evaluate(
-                        inst, [env[id(o)] for o in inst.operands])
-                elif op in ("var", "alloc"):
-                    env[id(inst)] = Cell(env[id(inst.operands[0])])
-                elif op == "free":
-                    pass
-                elif op == "ld":
-                    env[id(inst)] = _as_cellref(env[id(inst.operands[0])]).load()
-                elif op == "st":
-                    _as_cellref(env[id(inst.operands[0])]).store(
-                        env[id(inst.operands[1])])
-                elif op == "call":
-                    result = self.call(
-                        inst.callee, [env[id(o)] for o in inst.operands],
-                        where=f"in @{name}")
-                    if not inst.type.is_void:
-                        env[id(inst)] = result
-                elif op == "ret":
-                    if inst.operands:
-                        return env[id(inst.operands[0])]
-                    return None
-                elif op == "br":
-                    prev_block = block
-                    if inst.is_conditional_branch:
-                        cond = env[id(inst.operands[0])]
-                        block = inst.operands[2] if cond else inst.operands[1]
-                    else:
-                        block = inst.operands[0]
-                    break
-                else:
-                    raise SimulationError(
-                        f"@{name}: '{op}' not allowed in a function")
-            else:
-                raise SimulationError(f"@{name}: block without terminator")
-
-
-def _as_cellref(pointer):
-    if isinstance(pointer, Cell):
-        return CellRef(pointer)
-    return pointer
+        frame = _FunctionFrame(self, f"@{name}", design)
+        kernel = self.kernel
+        bp = design.function_plan(func)
+        budget = self.MAX_STEPS
+        executed = 0
+        while bp is not None:
+            steps = bp.steps
+            for step in steps:
+                step(env, frame)
+            executed += len(steps) + 1
+            if executed > budget:
+                raise SimulationError(
+                    f"@{name}: function execution exceeded "
+                    f"{self.MAX_STEPS} steps")
+            bp = bp.term(env, frame)
+        return frame.result
 
 
 def _interp_ext(inst, env):
-    """extf/exts on values, signals, and pointers."""
+    """extf/exts on values, signals, and pointers (elaboration walk)."""
     base = env[id(inst.operands[0])]
     if inst.opcode == "extf":
         index = inst.attrs.get("index")
@@ -200,8 +171,6 @@ def _interp_ext(inst, env):
             index = _dynamic_index(env[id(inst.operands[1])])
         step = ("field", index)
     else:
-        from .eval import path_of
-
         step = path_of(inst)
     if isinstance(base, (SignalInstance, SignalRef)):
         if isinstance(base, SignalInstance):
@@ -221,13 +190,10 @@ class ProcessInstance:
         self.path = path
         self.order = design.next_order()
         self.env = dict(port_map)  # id(value) -> runtime value
-        self.block = unit.entry
-        self.index = 0
-        self.prev_block = None
         self.status = "ready"
-        self.resume_block = None
         self.wait_token = 0
         self.subscribed = []
+        self._bp = None            # current BlockPlan (predecoded)
         self.functions = _FunctionInterpreter(design, design.kernel)
         design.activities.append(self)
         design.kernel.schedule_initial(self)
@@ -243,126 +209,39 @@ class ProcessInstance:
         self._execute(kernel)
 
     def _wake(self):
-        for sig in self.subscribed:
-            self.design.kernel.remove_process_waiter(sig, self)
-        self.subscribed = []
+        subscribed = self.subscribed
+        if subscribed:
+            order = self.order
+            for sig in subscribed:
+                sig.proc_waiters.pop(order, None)
+            self.subscribed = []
         self.wait_token += 1
-        self.prev_block = self.block
-        self.block = self.resume_block
-        self.index = 0
 
     def _subscribe(self, signals, timeout):
         self.status = "waiting"
-        kernel = self.design.kernel
+        order = self.order
+        subscribed = self.subscribed
         for target in signals:
-            sig, _ = _signal_and_path(target)
-            kernel.add_process_waiter(sig, self)
-            self.subscribed.append(sig)
+            sig = target.signal if type(target) is SignalRef else target
+            if sig._rep is not None:
+                sig = sig.find()
+            sig.proc_waiters[order] = self
+            subscribed.append(sig)
         if timeout is not None:
-            kernel.schedule_resume(
+            self.design.kernel.schedule_resume(
                 _Timeout(self, self.wait_token), timeout)
 
     # -- execution ----------------------------------------------------------------
 
     def _execute(self, kernel):
+        bp = self._bp
+        if bp is None:
+            bp = self._bp = self.design.proc_plan(self.unit)
         env = self.env
-        while True:
-            inst = self.block.instructions[self.index]
-            self.index += 1
-            op = inst.opcode
-            if op == "phi":
-                # Collect the parallel copies for this block entry.
-                block_phis = self.block.phis()
-                values = [env[id(p.phi_value_for(self.prev_block))]
-                          for p in block_phis]
-                for phi, value in zip(block_phis, values):
-                    env[id(phi)] = value
-                self.index = len(block_phis)
-                continue
-            if op in _PURE_OPS:
-                env[id(inst)] = evaluate(
-                    inst, [env[id(o)] for o in inst.operands])
-            elif op in ("extf", "exts"):
-                env[id(inst)] = _interp_ext(inst, env)
-            elif op == "insf":
-                env[id(inst)] = evaluate(
-                    inst, [env[id(o)] for o in inst.operands])
-            elif op == "prb":
-                env[id(inst)] = kernel.probe(env[id(inst.operands[0])])
-            elif op == "drv":
-                self._drive(kernel, inst)
-            elif op == "sig":
-                if id(inst) not in env:
-                    env[id(inst)] = self.design.create_signal(
-                        f"{self.path}.{inst.name or id(inst)}",
-                        inst.type, env[id(inst.operands[0])])
-            elif op in ("var", "alloc"):
-                env[id(inst)] = Cell(env[id(inst.operands[0])])
-            elif op == "free":
-                pass
-            elif op == "ld":
-                env[id(inst)] = _as_cellref(env[id(inst.operands[0])]).load()
-            elif op == "st":
-                _as_cellref(env[id(inst.operands[0])]).store(
-                    env[id(inst.operands[1])])
-            elif op == "call":
-                result = self.functions.call(
-                    inst.callee, [env[id(o)] for o in inst.operands],
-                    where=f"in {self.path}")
-                if not inst.type.is_void:
-                    env[id(inst)] = result
-            elif op == "br":
-                self.prev_block = self.block
-                if inst.is_conditional_branch:
-                    cond = env[id(inst.operands[0])]
-                    self.block = (inst.operands[2] if cond
-                                  else inst.operands[1])
-                else:
-                    self.block = inst.operands[0]
-                self.index = 0
-            elif op == "wait":
-                self.resume_block = inst.wait_dest()
-                time_op = inst.wait_time()
-                timeout = env[id(time_op)] if time_op is not None else None
-                signals = [env[id(s)] for s in inst.wait_signals()]
-                self._subscribe(signals, timeout)
-                return
-            elif op == "halt":
-                self.status = "halted"
-                return
-            else:
-                raise SimulationError(
-                    f"{self.path}: '{op}' not allowed in a process")
-
-    def _drive(self, kernel, inst):
-        # One process is one driver (VHDL-style): transport cancellation
-        # applies across all of the process's drv statements on a signal.
-        cond = inst.drv_condition()
-        if cond is not None and not self.env[id(cond)]:
-            return
-        kernel.schedule_drive(
-            self.order,
-            self.env[id(inst.drv_signal())],
-            self.env[id(inst.drv_value())],
-            self.env[id(inst.drv_delay())])
-
-
-class _Timeout:
-    """Resume-after-timeout token; stale tokens are ignored."""
-
-    __slots__ = ("proc", "token")
-
-    def __init__(self, proc, token):
-        self.proc = proc
-        self.token = token
-
-    @property
-    def order(self):
-        return self.proc.order
-
-    def run(self, kernel):
-        if self.proc.status == "waiting" and self.proc.wait_token == self.token:
-            self.proc.run(kernel)
+        while bp is not None:
+            for step in bp.steps:
+                step(env, self)
+            bp = bp.term(env, self)
 
 
 def _signal_and_path(target):
@@ -376,6 +255,7 @@ class EntityInstance:
 
     The body is executed once at elaboration (creating signals, recursing
     into ``inst``), and re-executed whenever an observed signal changes.
+    Re-execution walks the predecoded entity plan.
     """
 
     def __init__(self, design, unit, path, port_map):
@@ -387,6 +267,7 @@ class EntityInstance:
         self.reg_state = {}  # id(reg inst) -> [prev trigger values]
         self.functions = _FunctionInterpreter(design, design.kernel)
         self._observed = {}
+        self._plan = None
         design.activities.append(self)
         self._initial_eval()
 
@@ -426,7 +307,7 @@ class EntityInstance:
             elif op == "reg":
                 self._observe(env[id(inst.reg_signal())])
                 self.reg_state[id(inst)] = [
-                    t["trigger"] for t in self._trigger_values(inst)]
+                    self.env[id(t["trigger"])] for t in inst.reg_triggers()]
             elif op == "drv":
                 self._drive(kernel, inst)
             else:
@@ -446,20 +327,6 @@ class EntityInstance:
             EntityInstance(self.design, callee, child_path, port_map)
         else:
             ProcessInstance(self.design, callee, child_path, port_map)
-
-    def _trigger_values(self, inst):
-        out = []
-        for t in inst.reg_triggers():
-            out.append({
-                "mode": t["mode"],
-                "value": self.env[id(t["value"])],
-                "trigger": self.env[id(t["trigger"])],
-                "cond": (self.env[id(t["cond"])]
-                         if t["cond"] is not None else None),
-                "delay": (self.env[id(t["delay"])]
-                          if t["delay"] is not None else None),
-            })
-        return out
 
     def _eval_dataflow(self, inst):
         env = self.env
@@ -481,7 +348,7 @@ class EntityInstance:
 
     def _drive(self, kernel, inst):
         # One entity is one driver for its drv instructions; reg and del
-        # each drive through their own key (see _run_reg / run).
+        # each drive through their own key (see plan._reg_step/_del_step).
         cond = inst.drv_condition()
         if cond is not None and not self.env[id(cond)]:
             return
@@ -494,58 +361,12 @@ class EntityInstance:
     # -- activity interface: re-execute the data-flow graph --------------------
 
     def run(self, kernel):
-        from ..ir.values import TimeValue
-
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = self.design.entity_plan(self.unit)
         env = self.env
-        for inst in self.unit.body:
-            op = inst.opcode
-            if op in ("sig", "inst", "con"):
-                continue
-            if op == "prb":
-                env[id(inst)] = kernel.probe(env[id(inst.operands[0])])
-            elif op == "del":
-                source = env[id(inst.operands[0])]
-                delay = env[id(inst.operands[1])]
-                kernel.schedule_drive(
-                    ("del", self.order, id(inst)), env[id(inst)],
-                    kernel.probe(source), delay)
-            elif op == "drv":
-                self._drive(kernel, inst)
-            elif op == "reg":
-                self._run_reg(kernel, inst)
-            else:
-                self._eval_dataflow(inst)
-
-    _EPSILON = None
-
-    def _run_reg(self, kernel, inst):
-        from ..ir.values import TimeValue
-
-        if EntityInstance._EPSILON is None:
-            EntityInstance._EPSILON = TimeValue(0, 0, 1)
-        prev_list = self.reg_state[id(inst)]
-        triggers = self._trigger_values(inst)
-        for i, t in enumerate(triggers):
-            prev = prev_list[i]
-            cur = t["trigger"]
-            mode = t["mode"]
-            fired = (
-                (mode == "rise" and prev == 0 and cur == 1)
-                or (mode == "fall" and prev == 1 and cur == 0)
-                or (mode == "both" and prev != cur)
-                or (mode == "high" and cur == 1)
-                or (mode == "low" and cur == 0))
-            prev_list[i] = cur
-            if not fired:
-                continue
-            if t["cond"] is not None and not t["cond"]:
-                continue
-            delay = t["delay"] if t["delay"] is not None else \
-                EntityInstance._EPSILON
-            kernel.schedule_drive(
-                ("reg", self.order, id(inst)),
-                self.env[id(inst.reg_signal())], t["value"], delay)
-            break  # first firing trigger wins
+        for step in plan:
+            step(env, self)
 
 
 def _connect(a, b):

@@ -29,12 +29,17 @@ class Trace:
     def record(self, time, signal, value):
         if self.signal_filter is not None and not self.signal_filter(signal):
             return
-        history = self.changes.setdefault(signal.name, [])
+        changes = self.changes
+        name = signal.name
+        history = changes.get(name)
+        if history is None:
+            history = changes[name] = []
         fs = time[0]
         if history and history[-1][0] == fs:
             history[-1] = (fs, value)
         else:
             history.append((fs, value))
+
     def finalize(self):
         """Collapse consecutive identical values (delta-step churn)."""
         for name, history in self.changes.items():

@@ -1,0 +1,77 @@
+"""The ``python -m repro.sim`` command-line driver (llhd-sim analogue)."""
+
+import pytest
+
+from repro.sim.__main__ import main, parse_time_fs
+
+ACC = """
+entity @top () -> () {
+  %z = const i8 0
+  %s = sig i8 %z
+  inst @driver () -> (i8$ %s)
+}
+proc @driver () -> (i8$ %s) {
+entry:
+  %v = const i8 42
+  %t = const time 3ns
+  drv i8$ %s, %v after %t
+  halt
+}
+"""
+
+
+@pytest.fixture()
+def design_file(tmp_path):
+    path = tmp_path / "design.llhd"
+    path.write_text(ACC)
+    return str(path)
+
+
+def test_parse_time_fs():
+    assert parse_time_fs("2500") == 2500
+    assert parse_time_fs("3ns") == 3_000_000
+    assert parse_time_fs("1.5ps") == 1500
+    assert parse_time_fs("1us") == 1_000_000_000
+
+
+def test_simulate_file_with_stats_and_trace(design_file, capsys):
+    assert main([design_file, "--stats", "--trace"]) == 0
+    captured = capsys.readouterr()
+    assert "3000000fs top.s = 42" in captured.out
+    assert "deltas" in captured.err
+
+
+def test_top_is_inferred_for_single_entity(design_file, capsys):
+    assert main([design_file]) == 0
+
+
+def test_vcd_export(design_file, tmp_path):
+    vcd = tmp_path / "out.vcd"
+    assert main([design_file, "--vcd", str(vcd)]) == 0
+    text = vcd.read_text()
+    assert "$timescale 1fs $end" in text
+    assert "#3000000" in text
+
+
+def test_named_design_cross_check(capsys):
+    assert main(["--design", "gray", "--cycles", "8",
+                 "--cross-check"]) == 0
+    captured = capsys.readouterr()
+    assert "traces identical" in captured.err
+
+
+def test_list_designs(capsys):
+    assert main(["--list-designs"]) == 0
+    out = capsys.readouterr().out
+    assert "riscv" in out and "sorter" in out
+
+
+def test_unknown_design_errors():
+    with pytest.raises(SystemExit):
+        main(["--design", "nonesuch"])
+
+
+def test_until_limits_simulation(design_file, capsys):
+    assert main([design_file, "--until", "1ns", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "42" not in out
