@@ -26,7 +26,7 @@ labels are present.
 
 import pytest
 
-from repro.designs import DESIGNS, TABLE2_ORDER, compile_design
+from repro.designs import ALL_DESIGNS, DESIGNS, TABLE2_ORDER, compile_design
 from repro.sim import simulate
 
 from .common import (
@@ -35,9 +35,11 @@ from .common import (
 )
 
 # Representative subset for --quick runs (CI smoke): covers a dataflow
-# filter, a FIFO with memory, the RISC-V core (process-heavy), and the
-# sorter (compute-bound, where compiled execution dominates).
-QUICK_DESIGNS = ("gray", "fir", "fifo", "riscv", "sorter")
+# filter, a FIFO with memory, the RISC-V core (process-heavy), the
+# sorter (compute-bound, where compiled execution dominates), and two
+# nine-valued variants exercising the packed value representation.
+QUICK_DESIGNS = ("gray", "fir", "fifo", "riscv", "sorter",
+                 "gray_l", "fir_l")
 
 BACKENDS = ("interp", "blaze", "cycle")
 _PAPER_COLUMNS = {"interp": "Int.", "blaze": "JIT", "cycle": "Comm."}
@@ -176,7 +178,7 @@ def main(argv=None):
     elif args.quick:
         designs = QUICK_DESIGNS
     else:
-        designs = TABLE2_ORDER
+        designs = ALL_DESIGNS
 
     results = run_sim_benchmarks(designs, runs=args.runs)
     import platform

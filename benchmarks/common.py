@@ -20,6 +20,7 @@ BENCH_CYCLES = {
     "gray": 60, "fir": 40, "lfsr": 60, "lzc": 30, "fifo": 60,
     "cdc_gray": 40, "cdc_strobe": 15, "rr_arbiter": 50,
     "stream_delayer": 60, "riscv": 200, "sorter": 40,
+    "gray_l": 60, "fir_l": 40, "fifo_l": 60, "cdc_gray_l": 40,
 }
 
 

@@ -20,14 +20,20 @@ from . import (
 
 
 class Design:
-    """Metadata + source factory for one evaluation design."""
+    """Metadata + source factory for one evaluation design.
 
-    def __init__(self, module):
-        self.name = module.NAME
-        self.paper_name = module.PAPER_NAME
+    ``four_state=True`` marks a nine-valued variant: the same SystemVerilog
+    source compiled with ``logic`` lowered to ``lN`` instead of ``iN``, so
+    every signal and operation runs on the IEEE 1164 value representation.
+    """
+
+    def __init__(self, module, four_state=False, name=None):
+        self.name = name or module.NAME
+        self.paper_name = module.PAPER_NAME + (" (9v)" if four_state else "")
         self.paper_loc = module.PAPER_LOC
         self.paper_cycles = module.PAPER_CYCLES
         self.top = module.TOP
+        self.four_state = four_state
         self._module = module
 
     def source(self, cycles=None):
@@ -59,11 +65,24 @@ DESIGNS = {
                 rr_arbiter, stream_delayer, riscv, sorter)
 }
 
+# Nine-valued variants of the logic-heavy designs: identical SystemVerilog,
+# compiled with four-state lowering, so the simulators exercise the packed
+# IEEE 1164 value representation on real data paths.
+FOUR_STATE_ORDER = ["gray_l", "fir_l", "fifo_l", "cdc_gray_l"]
+for _mod in (gray, fir, fifo, cdc_gray):
+    DESIGNS[f"{_mod.NAME}_l"] = Design(_mod, four_state=True,
+                                       name=f"{_mod.NAME}_l")
+del _mod
+
 # Table 2 presentation order; ``sorter`` (marked *) extends the paper's
 # ten designs with a compute-bound stress row.
 TABLE2_ORDER = ["gray", "fir", "lfsr", "lzc", "fifo", "cdc_gray",
                 "cdc_strobe", "rr_arbiter", "stream_delayer", "riscv",
                 "sorter"]
+
+#: Every design the simulators must agree on: the paper's table plus the
+#: nine-valued variants.
+ALL_DESIGNS = TABLE2_ORDER + FOUR_STATE_ORDER
 
 
 def compile_design(name, cycles=None):
@@ -71,7 +90,8 @@ def compile_design(name, cycles=None):
     from ..moore import compile_sv
 
     design = DESIGNS[name]
-    return compile_sv(design.source(cycles), module_name=name)
+    return compile_sv(design.source(cycles), module_name=name,
+                      four_state=design.four_state)
 
 
 def simulate_design(name, cycles=None, backend="interp"):
@@ -83,5 +103,5 @@ def simulate_design(name, cycles=None, backend="interp"):
     return simulate(module, design.top, backend=backend)
 
 
-__all__ = ["DESIGNS", "Design", "TABLE2_ORDER", "compile_design",
-           "simulate_design"]
+__all__ = ["ALL_DESIGNS", "DESIGNS", "Design", "FOUR_STATE_ORDER",
+           "TABLE2_ORDER", "compile_design", "simulate_design"]

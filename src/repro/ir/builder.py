@@ -157,18 +157,19 @@ class Builder:
         return self.insert(Instruction("not", a.type, (a,), None, name))
 
     def neg(self, a, name=None):
-        if not a.type.is_int:
-            raise TypeError(f"neg: needs iN operand, got {a.type}")
+        if not (a.type.is_int or a.type.is_logic):
+            raise TypeError(f"neg: needs iN or lN operand, got {a.type}")
         return self.insert(Instruction("neg", a.type, (a,), None, name))
 
     def compare(self, op, a, b, name=None):
-        """``eq``/``neq`` on any type; ordered comparisons on iN."""
+        """``eq``/``neq`` on any type; ordered comparisons on iN/lN."""
         if op not in COMPARE_OPS:
             raise ValueError(f"not a comparison: {op}")
         if a.type is not b.type:
             raise TypeError(f"{op}: operand types differ: {a.type} vs {b.type}")
-        if op not in ("eq", "neq") and not a.type.is_int:
-            raise TypeError(f"{op}: ordered compare needs iN, got {a.type}")
+        if op not in ("eq", "neq") and not (a.type.is_int or a.type.is_logic):
+            raise TypeError(f"{op}: ordered compare needs iN or lN, "
+                            f"got {a.type}")
         return self.insert(Instruction(op, int_type(1), (a, b), None, name))
 
     def eq(self, a, b, name=None):
@@ -185,18 +186,24 @@ class Builder:
 
     # -- casts ------------------------------------------------------------------
 
+    @staticmethod
+    def _cast_kinds_ok(value, ty):
+        """Casts stay within one value kind: iN→iN or lN→lN."""
+        return (value.type.is_int and ty.is_int) or \
+            (value.type.is_logic and ty.is_logic)
+
     def zext(self, value, ty, name=None):
-        if not value.type.is_int or not ty.is_int or ty.width < value.type.width:
+        if not self._cast_kinds_ok(value, ty) or ty.width < value.type.width:
             raise TypeError(f"zext {value.type} to {ty} is invalid")
         return self.insert(Instruction("zext", ty, (value,), None, name))
 
     def sext(self, value, ty, name=None):
-        if not value.type.is_int or not ty.is_int or ty.width < value.type.width:
+        if not self._cast_kinds_ok(value, ty) or ty.width < value.type.width:
             raise TypeError(f"sext {value.type} to {ty} is invalid")
         return self.insert(Instruction("sext", ty, (value,), None, name))
 
     def trunc(self, value, ty, name=None):
-        if not value.type.is_int or not ty.is_int or ty.width > value.type.width:
+        if not self._cast_kinds_ok(value, ty) or ty.width > value.type.width:
             raise TypeError(f"trunc {value.type} to {ty} is invalid")
         return self.insert(Instruction("trunc", ty, (value,), None, name))
 

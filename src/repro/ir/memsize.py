@@ -44,7 +44,9 @@ def deep_size(obj, seen=None):
         size += (sys.getsizeof(obj.fs) + sys.getsizeof(obj.delta)
                  + sys.getsizeof(obj.epsilon))
     elif isinstance(obj, LogicVec):
-        size += sys.getsizeof(obj.bits)
+        # Four plane integers; the bits string is a lazy cache, not state.
+        size += (sys.getsizeof(obj._val) + sys.getsizeof(obj._unk)
+                 + sys.getsizeof(obj._weak) + sys.getsizeof(obj._aux))
     elif isinstance(obj, Type):
         size += deep_size(vars(obj), seen) if hasattr(obj, "__dict__") \
             else 0

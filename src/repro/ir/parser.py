@@ -43,7 +43,7 @@ _TOKEN_RE = re.compile(r"""
   | (?P<global>@[A-Za-z0-9_.\-]+)
   | (?P<local>%[A-Za-z0-9_.\-]+)
   | (?P<string>"[^"]*")
-  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
   | (?P<punct>[(){}\[\],:=*$])
 """, re.VERBOSE)
 

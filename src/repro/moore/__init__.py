@@ -21,9 +21,14 @@ from .parser import parse_source
 from . import procgen as _procgen  # noqa: F401
 
 
-def compile_sv(source, top=None, module_name="moore"):
-    """Compile SystemVerilog source text into a Behavioural LLHD module."""
-    return compile_source(source, top=top, module_name=module_name)
+def compile_sv(source, top=None, module_name="moore", four_state=False):
+    """Compile SystemVerilog source text into a Behavioural LLHD module.
+
+    ``four_state=True`` lowers data types to the nine-valued ``lN``
+    representation (IEEE 1164 simulation semantics) instead of ``iN``.
+    """
+    return compile_source(source, top=top, module_name=module_name,
+                          four_state=four_state)
 
 
 __all__ = ["CodeGenerator", "MooreError", "MooreSyntaxError", "compile_sv",

@@ -28,7 +28,10 @@ builder API).  These deviations are documented in DESIGN.md.
 from __future__ import annotations
 
 from ..ir.builder import Builder
-from ..ir.types import array_type, int_type, signal_type, void_type
+from ..ir.ninevalued import LogicVec
+from ..ir.types import (
+    array_type, int_type, logic_type, signal_type, void_type,
+)
 from ..ir.units import Entity, Function, Module, Process
 from ..ir.values import TimeValue
 from . import ast
@@ -59,24 +62,31 @@ class TypedValue:
         return self.value.type.width
 
 
-def compile_source(source, top=None, module_name="moore"):
+def compile_source(source, top=None, module_name="moore", four_state=False):
     """Compile SystemVerilog source text to a Behavioural LLHD module.
 
     All modules in the source are elaborated with their default
     parameters; parametrized instantiations produce specialized entities
     with mangled names.  ``top`` is accepted for symmetry but elaboration
     is whole-source.
+
+    With ``four_state=True``, every data-typed value lowers to the
+    nine-valued ``lN`` type instead of the two-valued ``iN`` — the
+    IEEE 1164 simulation mode, where ``'x``/``'z`` literals and unknown
+    propagation are live.  Conditions, edge tests, and comparisons
+    produce ``i1`` as before (an unknown condition is false).
     """
     tree = parse_source(source)
-    generator = CodeGenerator(tree, module_name)
+    generator = CodeGenerator(tree, module_name, four_state=four_state)
     return generator.compile()
 
 
 class CodeGenerator:
-    def __init__(self, tree, module_name="moore"):
+    def __init__(self, tree, module_name="moore", four_state=False):
         self.tree = tree
         self.module = Module(module_name)
         self.module_asts = {m.name: m for m in tree.modules}
+        self.four_state = four_state
         self.elaborated = {}   # (name, frozen params) -> entity name
         self._specializations = 0
 
@@ -168,6 +178,7 @@ class ModuleElaborator:
         self.generator = generator
         self.module_ast = module_ast
         self.params = dict(params)
+        self.four_state = generator.four_state
         self.entity_name = entity_name
         self.signals = {}       # name -> LLHD value of signal type
         self.signal_types = {}  # name -> (element type, signed)
@@ -180,10 +191,14 @@ class ModuleElaborator:
 
     # -- types ----------------------------------------------------------------
 
+    def data_type(self, width):
+        """The scalar data type for ``width`` bits: iN, or lN four-state."""
+        return logic_type(width) if self.four_state else int_type(width)
+
     def lower_type(self, data_type):
         env = self.params
         if data_type is None:
-            return int_type(1), False
+            return self.data_type(1), False
         base_width = 1
         signed = data_type.signed
         if data_type.base in ("int", "integer"):
@@ -193,7 +208,7 @@ class ModuleElaborator:
             msb = _const_eval(data_type.packed[0], env)
             lsb = _const_eval(data_type.packed[1], env)
             base_width = abs(msb - lsb) + 1
-        ty = int_type(base_width)
+        ty = self.data_type(base_width)
         for dim in reversed(data_type.unpacked or []):
             kind, first, second = dim
             if kind == "size":
@@ -270,6 +285,9 @@ class ModuleElaborator:
     def _default_const(self, ty, value=0):
         if ty.is_int:
             return self.builder.const_int(ty, value)
+        if ty.is_logic:
+            return self.builder.const_logic(
+                LogicVec.from_int(value, ty.width))
         if ty.is_array:
             element = self._default_const(ty.element, value)
             return self.builder.array_splat(ty.length, element)
@@ -281,9 +299,9 @@ class ModuleElaborator:
         sig = self.signals.get(name)
         if sig is None:
             if name in self.params:
-                ty = int_type(32)
                 return TypedValue(
-                    self.builder.const_int(ty, self.params[name]), True)
+                    self._default_const(self.data_type(32),
+                                        self.params[name]), True)
             raise MooreError(f"unknown identifier {name!r}", line)
         cached = self._prb_cache.get(name)
         if cached is None:
@@ -407,7 +425,7 @@ class ModuleElaborator:
                 0 if expr.fill == "0" else -1)
             width = expr.width if isinstance(expr, ast.Number) \
                 and expr.width else 32
-            const = self.builder.const_int(int_type(width), value)
+            const = self._default_const(self.data_type(width), value)
             return self.builder.sig(const)
         raise MooreError("unsupported port connection expression",
                          getattr(expr, "line", None))
@@ -528,14 +546,44 @@ class ExprContext:
 
     # helpers ---------------------------------------------------------------------
 
+    def data_type(self, width):
+        return self.elab.data_type(width)
+
     def const(self, width, value, signed=False):
+        if self.elab.four_state:
+            return TypedValue(self.builder.const_logic(
+                LogicVec.from_int(value, width)), signed)
         return TypedValue(
             self.builder.const_int(int_type(width), value), signed)
 
+    def _const_like(self, ty, value):
+        """A constant of ``ty``'s kind (iN or lN) with the given value."""
+        if ty.is_logic:
+            return self.builder.const_logic(
+                LogicVec.from_int(value, ty.width))
+        return self.builder.const_int(ty, value)
+
+    def _to_logic(self, tv):
+        """Lift an i1 truth value into l1 (four-state contexts).
+
+        Comparison and boolean results stay ``i1``; when one feeds a
+        nine-valued signal or operand, select between the ``0``/``1``
+        logic constants — there is no iN→lN cast instruction.
+        """
+        if tv.width != 1:
+            raise MooreError(
+                f"cannot lift i{tv.width} into a nine-valued context")
+        zero = self.builder.const_logic("0")
+        one = self.builder.const_logic("1")
+        choices = self.builder.array([zero, one])
+        return TypedValue(self.builder.mux(choices, tv.value), tv.signed)
+
     def adapt(self, tv, target_ty):
-        """Widen/truncate a typed value to an integer target type."""
-        if not target_ty.is_int:
+        """Widen/truncate a typed value to an iN/lN target type."""
+        if not (target_ty.is_int or target_ty.is_logic):
             return tv
+        if target_ty.is_logic and tv.value.type.is_int:
+            tv = self._to_logic(tv)
         width = tv.width
         target = target_ty.width
         if width == target:
@@ -550,6 +598,10 @@ class ExprContext:
             self.builder.trunc(tv.value, target_ty), tv.signed)
 
     def to_bool(self, tv):
+        """An i1 truth value; unknown nine-valued bits count as false."""
+        if tv.value.type.is_logic:
+            zero = self._const_like(tv.value.type, 0)
+            return self.builder.neq(tv.value, zero)
         if tv.width == 1:
             return tv.value
         zero = self.builder.const_int(tv.value.type, 0)
@@ -557,7 +609,10 @@ class ExprContext:
 
     def _unify(self, a, b):
         width = max(a.width, b.width)
-        ty = int_type(width)
+        if a.value.type.is_logic or b.value.type.is_logic:
+            ty = logic_type(width)  # mixed iN operands are lifted by adapt
+        else:
+            ty = int_type(width)
         return self.adapt(a, ty), self.adapt(b, ty)
 
     # main dispatch -----------------------------------------------------------------
@@ -579,6 +634,9 @@ class ExprContext:
 
     def _expr_UnbasedUnsized(self, node, width_hint):
         width = width_hint or 1
+        if self.elab.four_state and node.fill in ("x", "z"):
+            vec = LogicVec.filled(node.fill.upper(), width)
+            return TypedValue(self.builder.const_logic(vec), False)
         value = 0 if node.fill in ("0", "x", "z") else (1 << width) - 1
         return self.const(width, value)
 
@@ -610,11 +668,10 @@ class ExprContext:
         operand = self.expr(node.operand)
         width = operand.width
         if node.op == "&":
-            ones = self.builder.const_int(operand.value.type,
-                                          (1 << width) - 1)
+            ones = self._const_like(operand.value.type, (1 << width) - 1)
             return TypedValue(self.builder.eq(operand.value, ones), False)
         if node.op == "|":
-            zero = self.builder.const_int(operand.value.type, 0)
+            zero = self._const_like(operand.value.type, 0)
             return TypedValue(self.builder.neq(operand.value, zero), False)
         # ^: parity via xor-fold.
         value = operand.value
@@ -623,7 +680,8 @@ class ExprContext:
             amount = self.builder.const_int(int_type(32), shift)
             value = self.builder.xor(value, self.builder.shr(value, amount))
             shift <<= 1
-        return TypedValue(self.builder.trunc(value, int_type(1))
+        bit1 = logic_type(1) if value.type.is_logic else int_type(1)
+        return TypedValue(self.builder.trunc(value, bit1)
                           if width > 1 else value, False)
 
     _CMP = {"<": ("ult", "slt"), ">": ("ugt", "sgt"),
@@ -690,13 +748,14 @@ class ExprContext:
             idx = self.expr(node.index)
             return TypedValue(self.builder.extf(base.value, idx.value),
                               False)
-        # Bit select on an integer.
+        # Bit select on an integer / logic vector.
         if index is not None:
             return TypedValue(
                 self.builder.exts(base.value, index, 1), False)
         idx = self.expr(node.index)
         shifted = self.builder.shr(base.value, idx.value)
-        return TypedValue(self.builder.trunc(shifted, int_type(1)), False)
+        bit1 = logic_type(1) if shifted.type.is_logic else int_type(1)
+        return TypedValue(self.builder.trunc(shifted, bit1), False)
 
     def _expr_PartSelect(self, node, width_hint):
         base = self.expr(node.base)
@@ -708,7 +767,7 @@ class ExprContext:
     def _expr_Concat(self, node, width_hint):
         parts = [self.expr(p) for p in node.parts]
         total = sum(p.width for p in parts)
-        ty = int_type(total)
+        ty = self.data_type(total)
         result = None
         offset = total
         for part in parts:

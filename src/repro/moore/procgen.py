@@ -12,7 +12,8 @@ suspension point (see codegen module docstring).
 from __future__ import annotations
 
 from ..ir.builder import Builder
-from ..ir.types import int_type
+from ..ir.ninevalued import LogicVec
+from ..ir.types import int_type, logic_type
 from ..ir.units import Process
 from ..ir.values import TimeValue
 from . import ast
@@ -120,6 +121,9 @@ class BodyGen(ExprContext):
     def _default_const(self, ty, value=0):
         if ty.is_int:
             return self.builder.const_int(ty, value)
+        if ty.is_logic:
+            return self.builder.const_logic(
+                LogicVec.from_int(value, ty.width))
         if ty.is_array:
             element = self._default_const(ty.element, value)
             return self.builder.array_splat(ty.length, element)
@@ -362,7 +366,7 @@ class BodyGen(ExprContext):
                     "dynamic bit-select assignment targets are not "
                     "supported; assign the full vector", expr.line)
             inner.steps.append(("exts", index, 1))
-            inner.element_ty = int_type(1)
+            inner.element_ty = logic_type(1) if ty.is_logic else int_type(1)
             return inner
         if isinstance(expr, ast.PartSelect):
             inner = self._resolve_projection(expr.base, base_lvalue)
@@ -375,6 +379,8 @@ class BodyGen(ExprContext):
 
                 inner.element_ty = array_type(width,
                                               inner.element_ty.element)
+            elif inner.element_ty.is_logic:
+                inner.element_ty = logic_type(width)
             else:
                 inner.element_ty = int_type(width)
             return inner
@@ -480,6 +486,25 @@ class ProcessBodyGen(BodyGen):
         parent_outputs = [self.elab.signals[n] for n in self.written_signals]
         return self.unit, parent_inputs, parent_outputs
 
+    def _edge_term(self, old, news, edge):
+        """An i1 "this edge fired" term from old/new trigger values.
+
+        Two-valued triggers keep the change-and-level pattern of Figure 5.
+        Nine-valued triggers compare X01 levels against the edge's target
+        level, so ``X``/``Z`` phases match neither edge while ``X → 1``
+        still counts as a rising edge (IEEE 1800 semantics).
+        """
+        if news.type.is_logic:
+            target = self.builder.const_logic("1" if edge == "posedge"
+                                              else "0")
+            now_at = self.builder.eq(news, target)
+            was_at = self.builder.eq(old, target)
+            return self.builder.and_(now_at, self.builder.not_(was_at))
+        changed = self.builder.neq(old, news)
+        if edge == "posedge":
+            return self.builder.and_(changed, news)
+        return self.builder.and_(changed, self.builder.not_(news))
+
     def _edge_triggered(self, events):
         init = self.new_block("init")
         check = self.new_block("check")
@@ -502,11 +527,7 @@ class ProcessBodyGen(BodyGen):
             if event.edge is None:
                 term = None  # any change on a plain event wakes us anyway
                 continue
-            changed = self.builder.neq(old, news)
-            if event.edge == "posedge":
-                term = self.builder.and_(changed, news)
-            else:
-                term = self.builder.and_(changed, self.builder.not_(news))
+            term = self._edge_term(old, news, event.edge)
             fire = term if fire is None else self.builder.or_(fire, term)
         if fire is None:
             self.builder.br(body)
@@ -687,11 +708,7 @@ class ProcessBodyGen(BodyGen):
             if event.edge is None:
                 continue
             news = self.builder.prb(signal)
-            changed = self.builder.neq(old, news)
-            if event.edge == "posedge":
-                term = self.builder.and_(changed, news)
-            else:
-                term = self.builder.and_(changed, self.builder.not_(news))
+            term = self._edge_term(old, news, event.edge)
             fire = term if fire is None else self.builder.or_(fire, term)
         if fire is None:
             self.builder.br(cont)

@@ -149,9 +149,9 @@ def main(argv=None):
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list_designs:
-        from ..designs import DESIGNS, TABLE2_ORDER
+        from ..designs import ALL_DESIGNS, DESIGNS
 
-        for name in TABLE2_ORDER:
+        for name in ALL_DESIGNS:
             design = DESIGNS[name]
             print(f"{name:16s} top @{design.top:24s} {design.paper_name}")
         return 0

@@ -34,7 +34,10 @@ from ..ir.ninevalued import LogicVec
 from ..ir.units import UnitDecl
 from ..ir.values import TimeValue
 from .engine import Kernel, SignalInstance, SignalRef
-from .eval import _int_binary, _logic_binary, int_shift, logic_shift
+from .eval import (
+    _int_binary, _logic_binary, int_shift, logic_compare, logic_level,
+    logic_neg, logic_shift,
+)
 from .interp import (
     Cell, CellRef, Design, EntityInstance, ProcessInstance,
 )
@@ -136,6 +139,8 @@ _BASE_GLOBALS = {
     "_idx": _rt_index,
     "_ibin": _int_binary,
     "_lbin": _logic_binary,
+    "_lneg": logic_neg,
+    "_lvl": logic_level,
     "_lshift": logic_shift,
     "_ishift": int_shift,
     "_tosigned": to_signed,
@@ -281,6 +286,15 @@ class UnitCompiler:
                                            "urem", "srem"):
             a, b = n(ops[0]), n(ops[1])
             if ops[0].type.is_logic:
+                # Table ops dispatch straight to the packed methods; only
+                # lN arithmetic (two-valued fast path or degrade-to-X)
+                # goes through the shared helper.
+                if op == "and":
+                    return f"{a}.and_({b})"
+                if op == "or":
+                    return f"{a}.or_({b})"
+                if op == "xor":
+                    return f"{a}.xor({b})"
                 return f"_lbin({op!r}, {a}, {b})"
             w = inst.type.width
             if op in _INLINE_INT_OPS:
@@ -302,6 +316,8 @@ class UnitCompiler:
                 return f"{n(ops[0])}.not_()"
             return f"(~{n(ops[0])}) & {hex(mask(inst.type.width))}"
         if op == "neg":
+            if ops[0].type.is_logic:
+                return f"_lneg({n(ops[0])})"
             return f"(-{n(ops[0])}) & {hex(mask(inst.type.width))}"
         if op in ("shl", "shr"):
             # Unknown bits (X/Z) in either operand propagate: all-X result
@@ -315,11 +331,17 @@ class UnitCompiler:
                 return f"({a} << {b}) & {hex(mask(inst.type.width))}"
             return f"{a} >> {b}"
         if op == "zext":
+            if ops[0].type.is_logic:
+                return f"{n(ops[0])}.zext({inst.type.width})"
             return n(ops[0])
         if op == "sext":
+            if ops[0].type.is_logic:
+                return f"{n(ops[0])}.sext({inst.type.width})"
             return (f"_tosigned({n(ops[0])}, {ops[0].type.width}) & "
                     f"{hex(mask(inst.type.width))}")
         if op == "trunc":
+            if ops[0].type.is_logic:
+                return f"{n(ops[0])}.trunc({inst.type.width})"
             return f"{n(ops[0])} & {hex(mask(inst.type.width))}"
         if op == "array":
             if inst.attrs.get("splat"):
@@ -418,15 +440,7 @@ class UnitCompiler:
         return f"({s}.value if type({s}) is _Sig else probe({s}))"
 
 
-def _rt_logic_cmp(op, a, b):
-    a_, b_ = a.to_x01(), b.to_x01()
-    if op == "eq":
-        return int(a_.bits == b_.bits and "X" not in a_.bits)
-    return int(a_.bits != b_.bits and "X" not in a_.bits
-               and "X" not in b_.bits)
-
-
-_BASE_GLOBALS["_lcmp"] = _rt_logic_cmp
+_BASE_GLOBALS["_lcmp"] = logic_compare
 
 
 class ProcessCompiler(UnitCompiler):
@@ -759,13 +773,28 @@ class EntityCompiler(UnitCompiler):
             slot = base + i
             cur = n(t["trigger"])
             mode = t["mode"]
-            tests = {
-                "rise": f"S[{slot}] == 0 and {cur} == 1",
-                "fall": f"S[{slot}] == 1 and {cur} == 0",
-                "both": f"S[{slot}] != {cur}",
-                "high": f"{cur} == 1",
-                "low": f"{cur} == 0",
-            }
+            if t["trigger"].type.is_logic:
+                # Mirrors plan._reg_step: rise needs the previous X01
+                # level to be 0 (the iN rule) or unknown (X -> 1 is a
+                # rising edge per IEEE 1800); 'both' compares exact
+                # values.
+                tests = {
+                    "rise": f"_lvl({cur}) == 1 and "
+                            f"_lvl(S[{slot}]) in (0, -1)",
+                    "fall": f"_lvl({cur}) == 0 and "
+                            f"_lvl(S[{slot}]) in (1, -1)",
+                    "both": f"S[{slot}] != {cur}",
+                    "high": f"_lvl({cur}) == 1",
+                    "low": f"_lvl({cur}) == 0",
+                }
+            else:
+                tests = {
+                    "rise": f"S[{slot}] == 0 and {cur} == 1",
+                    "fall": f"S[{slot}] == 1 and {cur} == 0",
+                    "both": f"S[{slot}] != {cur}",
+                    "high": f"{cur} == 1",
+                    "low": f"{cur} == 0",
+                }
             cond = tests[mode]
             if t["cond"] is not None:
                 cond = f"({cond}) and {n(t['cond'])}"
@@ -814,14 +843,28 @@ class BlazeDesign(Design):
     def call_function(self, name, args, where=""):
         if name.startswith("llhd."):
             return self.kernel.intrinsic(name, list(args), where)
-        fn = self._functions.get(name)
-        if fn is None:
+        entry = self._functions.get(name)
+        if entry is None:
             unit = self.module.get(name)
             if unit is None or isinstance(unit, UnitDecl):
                 raise SimulationError(f"call to undefined function @{name}")
-            fn = self.compiled(unit).fn
-            self._functions[name] = fn
-        return fn(args, self.call_function, self.kernel.intrinsic)
+            # Calls issued *from* @name carry its frame as context, the
+            # same "in @name" the interpreter's function frames report.
+            entry = (self.compiled(unit).fn, self.caller(f"in @{name}"))
+            self._functions[name] = entry
+        fn, inner_call = entry
+        return fn(args, inner_call, self.kernel.intrinsic)
+
+    def caller(self, where):
+        """A two-argument call hook carrying a fixed ``where`` context.
+
+        Generated code calls ``call(name, args)``; binding the context
+        here keeps intrinsic diagnostics (assertion messages) identical
+        to the interpreter's, which reports ``in <instance path>``.
+        """
+        def call(name, args):
+            return self.call_function(name, args, where)
+        return call
 
 
 class BlazeProcessInstance(ProcessInstance):
@@ -848,8 +891,8 @@ class BlazeProcessInstance(ProcessInstance):
             kernel.schedule_drive(order, sig, value, delay)
 
         self._gen = cu.fn(
-            tuple(bindings), kernel.probe, drive, design.call_function,
-            kernel.intrinsic)
+            tuple(bindings), kernel.probe, drive,
+            design.caller(f"in {self.path}"), kernel.intrinsic)
 
     def _execute(self, kernel):
         gen = self._gen
@@ -918,7 +961,7 @@ class BlazeEntityInstance(EntityInstance):
 
         self._activate = cu.fn(
             bindings, state, kernel.probe, drive, drive_del, drive_reg,
-            design.call_function, kernel.intrinsic)
+            design.caller(f"in {self.path}"), kernel.intrinsic)
 
     def run(self, kernel):
         fn = self._activate

@@ -78,23 +78,63 @@ def _logic_binary(op, a, b):
         return a.or_(b)
     if op == "xor":
         return a.xor(b)
-    # Arithmetic on logic vectors: degrade to X unless two-valued.
-    if not (a.is_two_valued and b.is_two_valued):
+    # Arithmetic on logic vectors: the two-valued fast path tests the
+    # unknown planes once per vector and computes on the value planes
+    # directly; anything unknown degrades to all-X.
+    if a._unk | b._unk:
         return LogicVec.filled("X", a.width)
-    result = _int_binary(op, a.to_int(), b.to_int(), a.width)
-    return LogicVec.from_int(result, a.width)
+    width = a.width
+    return LogicVec.from_int(_int_binary(op, a._val, b._val, width), width)
+
+
+def logic_compare(op, a, b):
+    """Compare two ``lN`` values; unknowns make every comparison false.
+
+    ``eq``/``neq`` compare the X01-normalized values (an ``X`` anywhere
+    makes the answer unknown, i.e. 0); ordered comparisons require both
+    operands two-valued and then compare the integer interpretations.
+    Each test is a single unknown-plane check plus a value-plane compare.
+    """
+    if a._unk | b._unk:
+        return 0
+    if op == "eq":
+        return int(a._val == b._val)
+    if op == "neq":
+        return int(a._val != b._val)
+    ia, ib = a._val, b._val
+    if op[0] == "s":
+        ia, ib = to_signed(ia, a.width), to_signed(ib, b.width)
+    rel = op[1:]
+    if rel == "lt":
+        return int(ia < ib)
+    if rel == "gt":
+        return int(ia > ib)
+    if rel == "le":
+        return int(ia <= ib)
+    if rel == "ge":
+        return int(ia >= ib)
+    raise SimulationError(f"unknown comparison {op}")
+
+
+def logic_level(value):
+    """The integer level of a trigger value, or -1 when unknown.
+
+    ``reg`` edge detection compares trigger levels against 0/1; a
+    two-valued nine-valued trigger contributes its X01 integer value
+    (any width, matching the ``iN`` trigger semantics) while ``X``/``Z``
+    phases return -1 and so match neither edge.
+    """
+    if isinstance(value, LogicVec):
+        if value._unk == 0:
+            return value._val
+        return -1
+    return value
 
 
 def _compare(op, a, b, inst):
     ty = inst.operands[0].type
     if ty.is_logic:
-        a_, b_ = a.to_x01(), b.to_x01()
-        if op == "eq":
-            return int(a_.bits == b_.bits and "X" not in a_.bits)
-        if op == "neq":
-            return int(a_.bits != b_.bits and "X" not in a_.bits
-                       and "X" not in b_.bits)
-        raise SimulationError(f"ordered comparison {op} on logic type")
+        return logic_compare(op, a, b)
     if op == "eq":
         return int(a == b)
     if op == "neq":
@@ -125,14 +165,21 @@ def shift_amount(amount):
     return amount
 
 
+def logic_neg(a):
+    """Negate an ``lN`` value; degrades to all-``X`` unless two-valued."""
+    if a._unk:
+        return LogicVec.filled("X", a.width)
+    return LogicVec.from_int(-a._val, a.width)
+
+
 def logic_shift(op, a, amount):
     """Shift an ``lN`` value, propagating unknowns as all-``X``."""
     amount = shift_amount(amount)
-    if amount is None or not a.is_two_valued:
+    if amount is None or a._unk:
         return LogicVec.filled("X", a.width)
     if op == "shl":
-        return LogicVec.from_int(a.to_int() << amount, a.width)
-    return LogicVec.from_int(a.to_int() >> amount, a.width)
+        return LogicVec.from_int(a._val << amount, a.width)
+    return LogicVec.from_int(a._val >> amount, a.width)
 
 
 def int_shift(op, a, amount, width):
@@ -216,7 +263,10 @@ def _eval_not(inst, operands):
 
 
 def _eval_neg(inst, operands):
-    return (-operands[0]) & mask(inst.type.width)
+    a = operands[0]
+    if isinstance(a, LogicVec):
+        return logic_neg(a)
+    return (-a) & mask(inst.type.width)
 
 
 def _eval_shift(inst, operands):
@@ -227,16 +277,25 @@ def _eval_shift(inst, operands):
 
 
 def _eval_zext(inst, operands):
-    return operands[0]
+    a = operands[0]
+    if isinstance(a, LogicVec):
+        return a.zext(inst.type.width)
+    return a
 
 
 def _eval_sext(inst, operands):
+    a = operands[0]
+    if isinstance(a, LogicVec):
+        return a.sext(inst.type.width)
     src_width = inst.operands[0].type.width
-    return from_signed(to_signed(operands[0], src_width), inst.type.width)
+    return from_signed(to_signed(a, src_width), inst.type.width)
 
 
 def _eval_trunc(inst, operands):
-    return operands[0] & mask(inst.type.width)
+    a = operands[0]
+    if isinstance(a, LogicVec):
+        return a.trunc(inst.type.width)
+    return a & mask(inst.type.width)
 
 
 def _eval_array(inst, operands):

@@ -25,7 +25,10 @@ from __future__ import annotations
 
 from ..ir.values import TimeValue
 from .engine import SignalInstance, SignalRef
-from .eval import EVALUATORS, _logic_binary, logic_shift, path_of
+from .eval import (
+    EVALUATORS, _logic_binary, logic_compare, logic_level, logic_shift,
+    path_of,
+)
 from .values import (
     SimulationError, extract_path, insert_path, mask, to_signed,
 )
@@ -222,6 +225,10 @@ def _binary_logic_step(inst):
                 "urem", "srem"):
         def step(env, act):
             env[key] = _logic_binary(op, env[a], env[b])
+    elif op in ("eq", "neq", "ult", "ugt", "ule", "uge", "slt", "sgt",
+                "sle", "sge"):
+        def step(env, act):
+            env[key] = logic_compare(op, env[a], env[b])
     else:
         return None
     return step
@@ -279,9 +286,24 @@ def _pure_step(inst):
         return step
     if op == "zext":
         a = opids[0]
+        if ops[0].type.is_logic:
+            w = inst.type.width
 
-        def step(env, act):
-            env[key] = env[a]
+            def step(env, act):
+                env[key] = env[a].zext(w)
+        else:
+            def step(env, act):
+                env[key] = env[a]
+        return step
+    if op in ("sext", "trunc") and ops[0].type.is_logic:
+        a = opids[0]
+        w = inst.type.width
+        if op == "sext":
+            def step(env, act):
+                env[key] = env[a].sext(w)
+        else:
+            def step(env, act):
+                env[key] = env[a].trunc(w)
         return step
     # Generic fallback: evaluator resolved once, operands by captured keys.
     fn = EVALUATORS.get(op)
@@ -463,19 +485,39 @@ def _reg_step(inst, kernel):
     trigs = tuple(
         (t["mode"], id(t["value"]), id(t["trigger"]),
          id(t["cond"]) if t["cond"] is not None else None,
-         id(t["delay"]) if t["delay"] is not None else None)
+         id(t["delay"]) if t["delay"] is not None else None,
+         t["trigger"].type.is_logic)
         for t in inst.reg_triggers())
 
     def step(env, act):
         prev_list = act.reg_state[key]
         fired = False
-        for i, (mode, vid, tid, cid, did) in enumerate(trigs):
+        for i, (mode, vid, tid, cid, did, lg) in enumerate(trigs):
             cur = env[tid]
             prev = prev_list[i]
             prev_list[i] = cur
             if fired:
                 continue
-            if mode == "rise":
+            if lg:
+                # Nine-valued trigger: rise/fall/high/low compare X01
+                # integer levels (-1 for unknowns).  A rising edge needs
+                # the previous level to be 0 — exactly the iN rule — or
+                # unknown, so X -> 1 counts as rise (IEEE 1800, matching
+                # procgen._edge_term); 'both' keeps exact value-change
+                # detection.
+                if mode == "rise":
+                    hit = logic_level(cur) == 1 and \
+                        logic_level(prev) in (0, -1)
+                elif mode == "fall":
+                    hit = logic_level(cur) == 0 and \
+                        logic_level(prev) in (1, -1)
+                elif mode == "both":
+                    hit = prev != cur
+                elif mode == "high":
+                    hit = logic_level(cur) == 1
+                else:
+                    hit = logic_level(cur) == 0
+            elif mode == "rise":
                 hit = prev == 0 and cur == 1
             elif mode == "fall":
                 hit = prev == 1 and cur == 0

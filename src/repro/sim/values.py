@@ -75,9 +75,8 @@ def extract_path(value, path):
             if kind == "int":
                 value = (value >> offset) & mask(length)
             elif kind == "logic":
-                # LogicVec stores MSB first; bit 0 is the last character.
-                w = value.width
-                value = LogicVec(value.bits[w - offset - length:w - offset])
+                # O(1) plane extraction; offset counts from the LSB.
+                value = value.slice_(offset, length)
             else:  # array slice
                 value = value[offset:offset + length]
     return value
@@ -103,10 +102,7 @@ def insert_path(value, path, new):
         return cleared | ((inner & mask(length)) << offset)
     if kind == "logic":
         inner = insert_path(extract_path(value, (step,)), rest, new)
-        w = value.width
-        hi = w - offset - length
-        lo = w - offset
-        return LogicVec(value.bits[:hi] + inner.bits + value.bits[lo:])
+        return value.splice(offset, inner)
     inner = insert_path(value[offset:offset + length], rest, new)
     return value[:offset] + tuple(inner) + value[offset + length:]
 

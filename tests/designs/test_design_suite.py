@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.designs import DESIGNS, TABLE2_ORDER, simulate_design
+from repro.designs import (
+    ALL_DESIGNS, DESIGNS, FOUR_STATE_ORDER, TABLE2_ORDER, simulate_design,
+)
 from repro.ir import verify_module
 from repro.designs import compile_design
 
@@ -10,22 +12,26 @@ SMALL_CYCLES = {
     "gray": 40, "fir": 25, "lfsr": 40, "lzc": 25, "fifo": 40,
     "cdc_gray": 30, "cdc_strobe": 12, "rr_arbiter": 40,
     "stream_delayer": 40, "riscv": 150, "sorter": 10,
+    "gray_l": 40, "fir_l": 25, "fifo_l": 40, "cdc_gray_l": 30,
 }
 
 
 def test_registry_is_complete():
-    assert sorted(DESIGNS) == sorted(TABLE2_ORDER)
-    # The paper's ten designs plus the sorter stress extension.
-    assert len(DESIGNS) == 11
+    assert sorted(DESIGNS) == sorted(ALL_DESIGNS)
+    # The paper's ten designs, the sorter stress extension, and the
+    # nine-valued variants of the logic-heavy designs.
+    assert len(TABLE2_ORDER) == 11
+    assert len(DESIGNS) == 11 + len(FOUR_STATE_ORDER)
+    assert all(DESIGNS[name].four_state for name in FOUR_STATE_ORDER)
 
 
-@pytest.mark.parametrize("name", TABLE2_ORDER)
+@pytest.mark.parametrize("name", ALL_DESIGNS)
 def test_design_compiles_and_verifies(name):
     module = compile_design(name, cycles=SMALL_CYCLES[name])
     verify_module(module)
 
 
-@pytest.mark.parametrize("name", TABLE2_ORDER)
+@pytest.mark.parametrize("name", ALL_DESIGNS)
 def test_design_self_checks(name):
     result = simulate_design(name, cycles=SMALL_CYCLES[name])
     assert result.assertion_failures == [], \

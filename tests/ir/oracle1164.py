@@ -1,0 +1,106 @@
+"""Test-only reference oracle: the verbatim IEEE 1164-1993 tables.
+
+These tables were the original (pre-packing) implementation of
+``repro.ir.ninevalued`` and are retained here, transcribed straight from
+the standard, as the ground truth the packed bit-plane implementation is
+checked against — exhaustively for every operand pair in
+``test_packed_oracle.py`` and on random wide vectors in
+``test_packed_property.py``.  Nothing in ``src/`` imports this module.
+"""
+
+VALUES = "UX01ZWLH-"
+INDEX = {c: i for i, c in enumerate(VALUES)}
+
+# Resolution table: the value observed on a wire driven by two sources.
+# Rows/columns in the order of VALUES. IEEE 1164 std_logic resolution.
+RESOLVE_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "U", "U", "U", "U", "U", "U", "U"],  # U
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # X
+    ["U", "X", "0", "X", "0", "0", "0", "0", "X"],  # 0
+    ["U", "X", "X", "1", "1", "1", "1", "1", "X"],  # 1
+    ["U", "X", "0", "1", "Z", "W", "L", "H", "X"],  # Z
+    ["U", "X", "0", "1", "W", "W", "W", "W", "X"],  # W
+    ["U", "X", "0", "1", "L", "W", "L", "W", "X"],  # L
+    ["U", "X", "0", "1", "H", "W", "W", "H", "X"],  # H
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # -
+]
+
+# AND table (IEEE 1164 "and").
+AND_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "0", "U", "U", "U", "0", "U", "U"],  # U
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # X
+    ["0", "0", "0", "0", "0", "0", "0", "0", "0"],  # 0
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # 1
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # Z
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # W
+    ["0", "0", "0", "0", "0", "0", "0", "0", "0"],  # L
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # H
+    ["U", "X", "0", "X", "X", "X", "0", "X", "X"],  # -
+]
+
+# OR table (IEEE 1164 "or").
+OR_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "U", "1", "U", "U", "U", "1", "U"],  # U
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # X
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # 0
+    ["1", "1", "1", "1", "1", "1", "1", "1", "1"],  # 1
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # Z
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # W
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # L
+    ["1", "1", "1", "1", "1", "1", "1", "1", "1"],  # H
+    ["U", "X", "X", "1", "X", "X", "X", "1", "X"],  # -
+]
+
+# XOR table (IEEE 1164 "xor").
+XOR_TABLE = [
+    # U    X    0    1    Z    W    L    H    -
+    ["U", "U", "U", "U", "U", "U", "U", "U", "U"],  # U
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # X
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # 0
+    ["U", "X", "1", "0", "X", "X", "1", "0", "X"],  # 1
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # Z
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # W
+    ["U", "X", "0", "1", "X", "X", "0", "1", "X"],  # L
+    ["U", "X", "1", "0", "X", "X", "1", "0", "X"],  # H
+    ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # -
+]
+
+# NOT table.
+NOT_TABLE = {
+    "U": "U", "X": "X", "0": "1", "1": "0", "Z": "X",
+    "W": "X", "L": "1", "H": "0", "-": "X",
+}
+
+# Conversion to the X01 subset.
+TO_X01_TABLE = {
+    "U": "X", "X": "X", "0": "0", "1": "1", "Z": "X",
+    "W": "X", "L": "0", "H": "1", "-": "X",
+}
+
+
+def oracle_and(a, b):
+    return AND_TABLE[INDEX[a]][INDEX[b]]
+
+
+def oracle_or(a, b):
+    return OR_TABLE[INDEX[a]][INDEX[b]]
+
+
+def oracle_xor(a, b):
+    return XOR_TABLE[INDEX[a]][INDEX[b]]
+
+
+def oracle_resolve(a, b):
+    return RESOLVE_TABLE[INDEX[a]][INDEX[b]]
+
+
+def oracle_not(a):
+    return NOT_TABLE[a]
+
+
+def zip_oracle(fn, abits, bbits):
+    """Bitwise application of a 1-bit oracle over two equal-width strings."""
+    return "".join(fn(a, b) for a, b in zip(abits, bbits))

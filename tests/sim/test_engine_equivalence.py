@@ -11,12 +11,29 @@ changing semantics.
 The independent cycle scheduler is held to trace equivalence only (its
 delta accounting legitimately differs); that is covered by
 ``test_cycle_equivalence`` and the Table 2 benchmark.
+
+The differential fuzz tests extend the oracle with hostile stimulus: a
+generated process is spliced into each design's top entity and drives
+randomized values — including ``X``/``Z``/``L``/``H`` injections on
+nine-valued nets — while all three engines must stay step-for-step
+identical (testbench assertions may now fire; they must fire
+identically).  A second generator builds closed random nine-valued
+dataflow networks with multiple drivers per net, exercising the packed
+AND/OR/XOR/NOT planes and the IEEE 1164 resolution path under every
+scheduler.
 """
+
+import random
 
 import pytest
 
-from repro.designs import DESIGNS, TABLE2_ORDER, compile_design
+from repro.designs import ALL_DESIGNS, DESIGNS, compile_design
+from repro.ir import Builder, Module, verify_module
+from repro.ir.ninevalued import LogicVec, VALUES
+from repro.ir.units import Entity, Process
+from repro.ir.values import TimeValue
 from repro.sim import simulate
+from repro.sim.values import SimulationError
 
 # Small budgets: enough cycles for every testbench to exercise its
 # self-checks without making the interpreter runs slow.
@@ -24,6 +41,7 @@ CYCLES = {
     "gray": 30, "fir": 20, "lfsr": 30, "lzc": 20, "fifo": 30,
     "cdc_gray": 25, "cdc_strobe": 12, "rr_arbiter": 30,
     "stream_delayer": 30, "riscv": 150, "sorter": 6,
+    "gray_l": 30, "fir_l": 20, "fifo_l": 30, "cdc_gray_l": 25,
 }
 
 
@@ -32,7 +50,7 @@ def _run(name, backend):
     return simulate(module, DESIGNS[name].top, backend=backend)
 
 
-@pytest.mark.parametrize("name", TABLE2_ORDER)
+@pytest.mark.parametrize("name", ALL_DESIGNS)
 def test_interp_and_blaze_are_identical(name):
     interp = _run(name, "interp")
     blaze = _run(name, "blaze")
@@ -45,9 +63,177 @@ def test_interp_and_blaze_are_identical(name):
     assert interp.final_time_fs == blaze.final_time_fs
 
 
-@pytest.mark.parametrize("name", TABLE2_ORDER)
+@pytest.mark.parametrize("name", ALL_DESIGNS)
 def test_cycle_traces_match(name):
     interp = _run(name, "interp")
     cycle = _run(name, "cycle")
     assert interp.trace.differences(cycle.trace) == []
     assert interp.assertion_failures == cycle.assertion_failures
+
+
+# -- differential fuzz --------------------------------------------------------
+
+BACKENDS = ("interp", "blaze", "cycle")
+
+#: Biased nine-valued alphabet: mostly two-valued so the designs keep
+#: making progress, with enough X/Z/L/H/W/U/- to stress the planes.
+_FUZZ_ALPHABET = "0011" * 4 + "XZLHWU-"
+
+
+def _random_logic_text(rng, width):
+    return "".join(rng.choice(_FUZZ_ALPHABET) for _ in range(width))
+
+
+def _inject_stimulus(module, top_name, seed, waves=6, drives_per_wave=3):
+    """Splice a randomized stimulus process into the design's top entity.
+
+    Drives random values — nine-valued strings with X/Z/L/H/W/U/-
+    injections on ``lN`` nets, random integers on ``iN`` nets — onto up
+    to four of the top's internal signals at randomized times.  Returns
+    True if any signal was targeted.  Built from ``Random(seed)`` only,
+    so every backend sees a byte-identical module.
+    """
+    rng = random.Random(seed)
+    top = module.get(top_name)
+    candidates = [inst for inst in top.body if inst.opcode == "sig"
+                  and (inst.type.element.is_int or inst.type.element.is_logic)]
+    if not candidates:
+        return False
+    targets = rng.sample(candidates, min(len(candidates), 4))
+    proc = Process("__fuzz_stim__", (), (), [s.type for s in targets],
+                   [f"t{i}" for i in range(len(targets))])
+    module.add(proc)
+    blocks = [proc.create_block(f"wave{i}") for i in range(waves + 1)]
+    b = Builder.at_end(blocks[0])
+    for wave, block in enumerate(blocks[:-1]):
+        b.set_insert_point(block)
+        for _ in range(drives_per_wave):
+            target = rng.choice(proc.outputs)
+            elem = target.type.element
+            if elem.is_logic:
+                value = b.const_logic(_random_logic_text(rng, elem.width))
+            else:
+                value = b.const_int(elem, rng.getrandbits(elem.width))
+            delay = b.const_time(TimeValue(rng.randrange(1, 4) * 500_000))
+            b.drv(target, value, delay)
+        pause = b.const_time(TimeValue(rng.randrange(1, 5) * 1_000_000))
+        b.wait(blocks[wave + 1], pause, [])
+    b.set_insert_point(blocks[-1])
+    b.halt()
+    Builder.at_end(top.body).inst(proc, [], targets)
+    return True
+
+
+def _fuzz_run(module, top, backend):
+    """Simulate, treating a SimulationError as part of the behaviour.
+
+    Hostile stimulus can legally make a design hit a runtime error (an
+    ``X`` reaching a dynamic index, say).  Message texts and the partial
+    trace up to the failure differ legitimately between the interpreter
+    and generated code, so an erroring run compares only as "errored" —
+    the engines must agree on *whether* the stimulus is fatal.
+    """
+    try:
+        return simulate(module, top, backend=backend)
+    except SimulationError:
+        return None
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_fuzzed_stimulus_keeps_engines_identical(name, seed):
+    """All three engines agree on every design under injected stimulus."""
+    results = {}
+    for backend in BACKENDS:
+        module = compile_design(name, cycles=CYCLES[name])
+        injected = _inject_stimulus(module, DESIGNS[name].top,
+                                    seed=f"{name}:{seed}")
+        assert injected, f"{name}: no injectable signals in top entity"
+        verify_module(module)
+        results[backend] = _fuzz_run(module, DESIGNS[name].top, backend)
+    interp, blaze, cycle = (results[b] for b in BACKENDS)
+    errored = [b for b in BACKENDS if results[b] is None]
+    assert errored in ([], list(BACKENDS)), \
+        f"{name}: only {errored} hit a runtime error"
+    if errored:
+        return
+    assert interp.trace.finalize().changes == \
+        blaze.trace.finalize().changes, \
+        interp.trace.differences(blaze.trace)
+    assert interp.stats == blaze.stats
+    assert interp.trace.differences(cycle.trace) == []
+    for other in (blaze, cycle):
+        assert interp.assertion_failures == other.assertion_failures
+        assert interp.output == other.output
+
+
+def _random_logic_network(seed, n_sigs=4, n_ops=12, width=8, waves=8):
+    """A closed random nine-valued dataflow design plus hostile stimulus.
+
+    Two independent stimulus processes drive the same source nets, so the
+    kernel's multi-driver IEEE 1164 resolution path runs on every wave;
+    the entity computes a random AND/OR/XOR/NOT network over the sources
+    into result nets.  Closed under nine-valued operations: no dynamic
+    indexing, so no run can error and every trace compares in full.
+    """
+    rng = random.Random(seed)
+    module = Module("fuzz")
+    top = Entity("fuzz_top", (), (), (), ())
+    module.add(top)
+    b = Builder.at_end(top.body)
+    init = b.const_logic("U" * width)
+    sources = [b.sig(init, name=f"src{i}") for i in range(n_sigs)]
+    values = [b.prb(s) for s in sources]
+    delay = b.const_time(TimeValue(1_000_000))
+    for i in range(n_ops):
+        op = rng.choice(("and", "or", "xor", "not"))
+        a = rng.choice(values)
+        if op == "not":
+            value = b.not_(a)
+        else:
+            value = b.binary(op, a, rng.choice(values))
+        values.append(value)
+        out = b.sig(init, name=f"out{i}")
+        b.drv(out, value, delay)
+    for proc_index in range(2):
+        proc = Process(f"stim{proc_index}", (), (),
+                       [s.type for s in sources],
+                       [f"s{i}" for i in range(n_sigs)])
+        module.add(proc)
+        blocks = [proc.create_block(f"w{i}") for i in range(waves + 1)]
+        pb = Builder.at_end(blocks[0])
+        for wave, block in enumerate(blocks[:-1]):
+            pb.set_insert_point(block)
+            for target in rng.sample(proc.outputs, rng.randrange(1, n_sigs)):
+                value = pb.const_logic(_random_logic_text(rng, width))
+                pb.drv(target, value,
+                       pb.const_time(TimeValue(rng.randrange(1, 4) * 250_000)))
+            pb.wait(blocks[wave + 1],
+                    pb.const_time(TimeValue(rng.randrange(1, 4) * 1_000_000)),
+                    [])
+        pb.set_insert_point(blocks[-1])
+        pb.halt()
+        Builder.at_end(top.body).inst(proc, [], sources)
+    verify_module(module)
+    return module
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_nine_valued_networks_agree(seed):
+    """Random packed-logic networks match across all three schedulers."""
+    runs = {}
+    for backend in BACKENDS:
+        module = _random_logic_network(seed)
+        runs[backend] = simulate(module, "fuzz_top", backend=backend)
+    interp = runs["interp"]
+    assert interp.trace.finalize().changes == \
+        runs["blaze"].trace.finalize().changes, \
+        interp.trace.differences(runs["blaze"].trace)
+    assert interp.stats == runs["blaze"].stats
+    assert interp.trace.differences(runs["cycle"].trace) == []
+    # The nets carry genuinely nine-valued traffic, not just 0/1.
+    exotic = set()
+    for _, history in interp.trace.finalize().changes.items():
+        for _, value in history:
+            exotic.update(str(value))
+    assert exotic & set("XZLHWU-"), "stimulus never injected unknowns"

@@ -122,3 +122,123 @@ def test_nine_valued_multi_driver_resolution():
 
     result = simulate(module, "top")
     assert result.trace.value_at("top.net", 1_000_000) == LogicVec("0")
+
+
+@pytest.mark.parametrize("backend", ["interp", "blaze", "cycle"])
+def test_reg_nine_valued_clock_fires_first_edge(backend):
+    """A reg clocked by an l1 net must latch on the *first* rising edge.
+
+    Regression: the reg's previous-trigger state was initialized with
+    the raw LogicVec while later samples were normalized to 0/1 levels,
+    so LogicVec("0") == 0 compared false and the first edge was lost.
+    """
+    module = parse_module("""
+    entity @top () -> () {
+      %zc = const l1 "0"
+      %zq = const l8 "00000000"
+      %clk = sig l1 %zc
+      %q = sig l8 %zq
+      %clkp = prb l1$ %clk
+      %d = const l8 "10101010"
+      %eps = const time 1e
+      reg l8$ %q, %d rise %clkp after %eps
+      inst @clocker () -> (l1$ %clk)
+    }
+    proc @clocker () -> (l1$ %clk) {
+    entry:
+      %one = const l1 "1"
+      %t1 = const time 1ns
+      drv l1$ %clk, %one after %t1
+      halt
+    }
+    """)
+    result = simulate(module, "top", backend=backend)
+    # The first (and only) rising edge at 1ns latches d into q.
+    assert result.trace.value_at("top.q", 1_000_000) is not None
+    assert str(result.trace.value_at("top.q", 1_000_000)) == "10101010"
+
+
+@pytest.mark.parametrize("backend", ["interp", "blaze", "cycle"])
+def test_reg_x_to_one_counts_as_rising_edge(backend):
+    """An X -> 1 clock transition is a rising edge (IEEE 1800)."""
+    module = parse_module("""
+    entity @top () -> () {
+      %zc = const l1 "X"
+      %zq = const l4 "0000"
+      %clk = sig l1 %zc
+      %q = sig l4 %zq
+      %clkp = prb l1$ %clk
+      %d = const l4 "1111"
+      %eps = const time 1e
+      reg l4$ %q, %d rise %clkp after %eps
+      inst @clocker () -> (l1$ %clk)
+    }
+    proc @clocker () -> (l1$ %clk) {
+    entry:
+      %one = const l1 "1"
+      %t1 = const time 1ns
+      drv l1$ %clk, %one after %t1
+      halt
+    }
+    """)
+    result = simulate(module, "top", backend=backend)
+    assert str(result.trace.value_at("top.q", 1_000_000)) == "1111"
+
+
+@pytest.mark.parametrize("backend", ["interp", "blaze", "cycle"])
+def test_reg_multibit_logic_trigger_matches_int_semantics(backend):
+    """A two-valued lN trigger wider than one bit levels like iN.
+
+    Rise fires on a value-0 -> value-1 transition of the whole vector,
+    exactly as an i8 trigger would (a 2 -> 1 transition is NOT a rising
+    edge); unknown bits still match no edge.
+    """
+    module = parse_module("""
+    entity @top () -> () {
+      %zt = const l8 "00000000"
+      %zq = const l4 "0000"
+      %trig = sig l8 %zt
+      %q = sig l4 %zq
+      %tp = prb l8$ %trig
+      %d = const l4 "1111"
+      %eps = const time 1e
+      reg l4$ %q, %d rise %tp after %eps
+      inst @driver () -> (l8$ %trig)
+    }
+    proc @driver () -> (l8$ %trig) {
+    entry:
+      %one = const l8 "00000001"
+      %t1 = const time 1ns
+      drv l8$ %trig, %one after %t1
+      halt
+    }
+    """)
+    result = simulate(module, "top", backend=backend)
+    assert str(result.trace.value_at("top.q", 1_000_000)) == "1111"
+
+
+@pytest.mark.parametrize("backend", ["interp", "blaze", "cycle"])
+def test_reg_multibit_two_to_one_is_not_a_rising_edge(backend):
+    module = parse_module("""
+    entity @top () -> () {
+      %zt = const l8 "00000010"
+      %zq = const l4 "0000"
+      %trig = sig l8 %zt
+      %q = sig l4 %zq
+      %tp = prb l8$ %trig
+      %d = const l4 "1111"
+      %eps = const time 1e
+      reg l4$ %q, %d rise %tp after %eps
+      inst @driver () -> (l8$ %trig)
+    }
+    proc @driver () -> (l8$ %trig) {
+    entry:
+      %one = const l8 "00000001"
+      %t1 = const time 1ns
+      drv l8$ %trig, %one after %t1
+      halt
+    }
+    """)
+    result = simulate(module, "top", backend=backend)
+    # 2 -> 1 is not prev==0 -> cur==1: no latch, q keeps its initial value.
+    assert str(result.trace.value_at("top.q", 2_000_000)) == "0000"
