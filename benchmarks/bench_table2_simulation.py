@@ -26,7 +26,9 @@ labels are present.
 
 import pytest
 
-from repro.designs import ALL_DESIGNS, DESIGNS, TABLE2_ORDER, compile_design
+from repro.designs import (
+    ALL_DESIGNS, DESIGNS, NETLIST_DESIGNS, TABLE2_ORDER, compile_design,
+)
 from repro.sim import simulate
 
 from .common import (
@@ -40,6 +42,11 @@ from .common import (
 # nine-valued variants exercising the packed value representation.
 QUICK_DESIGNS = ("gray", "fir", "fifo", "riscv", "sorter",
                  "gray_l", "fir_l")
+
+#: Four-state designs measured additionally at the netlist level
+#: (lowered + technology-mapped): BENCH_sim.json then records what
+#: gate-level granularity costs on nine-valued data.
+NETLIST_BENCH = tuple(d for d in NETLIST_DESIGNS if d.endswith("_l"))
 
 BACKENDS = ("interp", "blaze", "cycle")
 _PAPER_COLUMNS = {"interp": "Int.", "blaze": "JIT", "cycle": "Comm."}
@@ -168,6 +175,8 @@ def main(argv=None):
                         help="output JSON path (merged, not overwritten)")
     parser.add_argument("--runs", type=int, default=1,
                         help="timing repetitions per point (min is kept)")
+    parser.add_argument("--no-netlist", action="store_true",
+                        help="skip the netlist-level four-state rows")
     args = parser.parse_args(argv)
 
     if args.designs:
@@ -180,7 +189,10 @@ def main(argv=None):
     else:
         designs = ALL_DESIGNS
 
-    results = run_sim_benchmarks(designs, runs=args.runs)
+    netlist_designs = () if args.no_netlist else \
+        tuple(d for d in designs if d in NETLIST_BENCH)
+    results = run_sim_benchmarks(designs, runs=args.runs,
+                                 netlist_designs=netlist_designs)
     import platform
 
     doc = merge_bench_json(

@@ -11,25 +11,39 @@ from __future__ import annotations
 import json
 import time
 
-from repro.designs import DESIGNS, TABLE2_ORDER, compile_design
+from repro.designs import (
+    DESIGNS, TABLE2_ORDER, compile_design, expand_cycle_budgets,
+)
 from repro.sim import simulate
 
 # Cycle budgets per design for benchmarking: sized so the reference
-# interpreter finishes a run in roughly a second.
-BENCH_CYCLES = {
+# interpreter finishes a run in roughly a second.  Nine-valued ``_l``
+# variants share their two-state sibling's budget.
+BENCH_CYCLES = expand_cycle_budgets({
     "gray": 60, "fir": 40, "lfsr": 60, "lzc": 30, "fifo": 60,
     "cdc_gray": 40, "cdc_strobe": 15, "rr_arbiter": 50,
     "stream_delayer": 60, "riscv": 200, "sorter": 40,
-    "gray_l": 60, "fir_l": 40, "fifo_l": 60, "cdc_gray_l": 40,
-}
+})
 
 
-def timed_simulation(name, backend, cycles=None):
-    """Compile (untimed) then simulate (timed); returns (seconds, result)."""
+def timed_simulation(name, backend, cycles=None, netlist=False):
+    """Compile (untimed) then simulate (timed); returns (seconds, result).
+
+    With ``netlist``, the design is additionally lowered to Structural
+    LLHD and technology-mapped (zero gate delay) before simulation — the
+    compile/lower/map cost stays outside the timed region, so the
+    numbers isolate the runtime cost of gate-level granularity.
+    """
     import gc
 
     cycles = cycles if cycles is not None else BENCH_CYCLES[name]
     module = compile_design(name, cycles=cycles)
+    if netlist:
+        from repro.interop import netlist_design
+        from repro.passes import lower_to_structural
+
+        lower_to_structural(module, strict=False, verify=False)
+        module = netlist_design(module)
     top = DESIGNS[name].top
     # Collect frontend debris now so GC pauses don't land in the timed
     # region (the harness sweeps many designs in one process).
@@ -67,19 +81,23 @@ def trace_fingerprint(trace):
                  for name, history in items])
 
 
-def measure_backend(name, backend, cycles, runs=1):
+def measure_backend(name, backend, cycles, runs=1, netlist=False):
     """Measure one design under one engine.
 
     Returns a dict with wall seconds at ``cycles``, the marginal seconds
     per cycle (slope between ``cycles`` and ``3*cycles``), the kernel
     stats, and the trace fingerprint at ``cycles``.
     """
-    t_short, result = timed_simulation(name, backend, cycles)
+    t_short, result = timed_simulation(name, backend, cycles,
+                                       netlist=netlist)
     for _ in range(runs - 1):
-        t_short = min(t_short, timed_simulation(name, backend, cycles)[0])
-    t_long, _ = timed_simulation(name, backend, 3 * cycles)
+        t_short = min(t_short, timed_simulation(
+            name, backend, cycles, netlist=netlist)[0])
+    t_long, _ = timed_simulation(name, backend, 3 * cycles,
+                                 netlist=netlist)
     for _ in range(runs - 1):
-        t_long = min(t_long, timed_simulation(name, backend, 3 * cycles)[0])
+        t_long = min(t_long, timed_simulation(
+            name, backend, 3 * cycles, netlist=netlist)[0])
     slope = (t_long - t_short) / (2 * cycles)
     if slope <= 0:  # timing noise on very small designs
         slope = t_long / (3 * cycles)
@@ -89,11 +107,19 @@ def measure_backend(name, backend, cycles, runs=1):
         "per_cycle_us": round(slope * 1e6, 3),
         "stats": dict(result.stats),
         "fingerprint": trace_fingerprint(result.trace),
+        "result": result,
     }
 
 
-def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1):
-    """Measure ``designs`` under ``backends``; assert identical traces."""
+def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
+                       netlist_designs=()):
+    """Measure ``designs`` under ``backends``; assert identical traces.
+
+    Designs listed in ``netlist_designs`` are *additionally* measured at
+    the netlist level (lowered + technology-mapped, zero gate delay),
+    recorded under ``<backend>@netlist`` keys; their traces must match
+    the behavioural run signal-for-signal on every shared signal.
+    """
     out = {}
     for name in designs:
         cycles = BENCH_CYCLES[name]
@@ -101,9 +127,34 @@ def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1):
         for backend in backends:
             per_backend[backend] = measure_backend(
                 name, backend, cycles, runs=runs)
-        prints = {b: m.pop("fingerprint") for b, m in per_backend.items()}
-        reference = prints[backends[0]]
-        mismatched = [b for b in backends[1:] if prints[b] != reference]
+        if name in netlist_designs:
+            for backend in backends:
+                per_backend[f"{backend}@netlist"] = measure_backend(
+                    name, backend, cycles, runs=runs, netlist=True)
+        reference = per_backend[backends[0]].pop("result")
+        prints = {}
+        for b, m in per_backend.items():
+            result = m.pop("result", None)
+            if b.endswith("@netlist"):
+                # Netlist traces add cell nets; every *changing* signal
+                # of the behavioural run must survive under its own name
+                # and match exactly.
+                m.pop("fingerprint")
+                active = reference.trace.live_signals()
+                missing = active - set(result.trace.finalize().changes)
+                if missing:
+                    raise AssertionError(
+                        f"{name}: netlist run dropped live signals "
+                        f"under {b}: {sorted(missing)[:4]}")
+                diffs = reference.trace.differences(result.trace)
+                if diffs:
+                    raise AssertionError(
+                        f"{name}: netlist trace diverges under {b}: "
+                        f"{diffs[:3]}")
+            else:
+                prints[b] = m.pop("fingerprint")
+        mismatched = [b for b in backends[1:]
+                      if prints[b] != prints[backends[0]]]
         if mismatched:
             raise AssertionError(
                 f"{name}: traces diverge between {backends[0]} and "
@@ -153,5 +204,11 @@ def _annotate_speedups(slot):
     blaze = newest.get("blaze", {}).get("per_cycle_us")
     if interp and blaze:
         speedup["blaze_vs_interp"] = round(interp / blaze, 2)
+    for engine in ("interp", "blaze"):
+        base = newest.get(engine, {}).get("per_cycle_us")
+        netlist = newest.get(f"{engine}@netlist", {}).get("per_cycle_us")
+        if base and netlist:
+            # >1: how much slower gate-level granularity simulates.
+            speedup[f"{engine}_netlist_cost"] = round(netlist / base, 2)
     if speedup:
         slot["speedup"] = speedup

@@ -65,11 +65,16 @@ DESIGNS = {
                 rr_arbiter, stream_delayer, riscv, sorter)
 }
 
-# Nine-valued variants of the logic-heavy designs: identical SystemVerilog,
+# Nine-valued variants of every suite design: identical SystemVerilog,
 # compiled with four-state lowering, so the simulators exercise the packed
-# IEEE 1164 value representation on real data paths.
-FOUR_STATE_ORDER = ["gray_l", "fir_l", "fifo_l", "cdc_gray_l"]
-for _mod in (gray, fir, fifo, cdc_gray):
+# IEEE 1164 value representation on real data paths — and, since the
+# lowering pipeline and technology mapper understand ``lN``, so the
+# behavioural → structural → netlist levels all run on nine-valued data.
+FOUR_STATE_ORDER = ["gray_l", "fir_l", "lfsr_l", "lzc_l", "fifo_l",
+                    "cdc_gray_l", "cdc_strobe_l", "rr_arbiter_l",
+                    "stream_delayer_l", "riscv_l", "sorter_l"]
+for _mod in (gray, fir, lfsr, lzc, fifo, cdc_gray, cdc_strobe, rr_arbiter,
+             stream_delayer, riscv, sorter):
     DESIGNS[f"{_mod.NAME}_l"] = Design(_mod, four_state=True,
                                        name=f"{_mod.NAME}_l")
 del _mod
@@ -83,6 +88,35 @@ TABLE2_ORDER = ["gray", "fir", "lfsr", "lzc", "fifo", "cdc_gray",
 #: Every design the simulators must agree on: the paper's table plus the
 #: nine-valued variants.
 ALL_DESIGNS = TABLE2_ORDER + FOUR_STATE_ORDER
+
+#: Designs whose synthesizable core lowers *completely* (every design
+#: process becomes an entity; only the testbench stays behavioural), so
+#: the design reaches the netlist level under the technology mapper.
+#: ``lzc``/``rr_arbiter``/``riscv`` keep loop-heavy combinational
+#: processes TCFE cannot flatten and stop at the behavioural level.
+NETLIST_DESIGNS = ["gray", "fir", "lfsr", "fifo", "cdc_gray",
+                   "cdc_strobe", "stream_delayer", "sorter",
+                   "gray_l", "fir_l", "lfsr_l", "fifo_l", "cdc_gray_l",
+                   "cdc_strobe_l", "stream_delayer_l", "sorter_l"]
+
+
+def base_design_name(name):
+    """The two-state sibling of a design name (identity if two-state)."""
+    return name[:-2] if name.endswith("_l") else name
+
+
+def expand_cycle_budgets(budgets):
+    """Extend a per-design cycle-budget dict to the ``_l`` variants.
+
+    Nine-valued variants run the same SystemVerilog, so every budget
+    keyed by a two-state name applies verbatim to its ``_l`` sibling —
+    tests and benchmarks share this helper instead of each re-deriving
+    the suffix convention.
+    """
+    out = dict(budgets)
+    out.update({f"{name}_l": cycles for name, cycles in budgets.items()
+                if f"{name}_l" in DESIGNS})
+    return out
 
 
 def compile_design(name, cycles=None):
@@ -104,4 +138,5 @@ def simulate_design(name, cycles=None, backend="interp"):
 
 
 __all__ = ["ALL_DESIGNS", "DESIGNS", "Design", "FOUR_STATE_ORDER",
-           "TABLE2_ORDER", "compile_design", "simulate_design"]
+           "NETLIST_DESIGNS", "TABLE2_ORDER", "base_design_name",
+           "compile_design", "expand_cycle_budgets", "simulate_design"]

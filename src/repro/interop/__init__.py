@@ -2,11 +2,11 @@
 and a demonstration technology mapper to Netlist LLHD."""
 
 from .comparison import COLUMNS, OTHER_IRS, full_table, llhd_row, render_table
-from .techmap import TechmapError, technology_map
+from .techmap import TechmapError, netlist_design, technology_map
 from .verilog import VerilogExportError, export_verilog
 
 __all__ = [
     "COLUMNS", "OTHER_IRS", "TechmapError", "VerilogExportError",
-    "export_verilog", "full_table", "llhd_row", "render_table",
-    "technology_map",
+    "export_verilog", "full_table", "llhd_row", "netlist_design",
+    "render_table", "technology_map",
 ]

@@ -32,8 +32,22 @@ STRUCTURAL_OPCODES = frozenset({
 })
 
 # Opcodes allowed inside an entity at the NETLIST level.  Constants are
-# permitted because ``sig`` requires an initial value.
+# permitted because ``sig`` requires an initial value; ``array``/``struct``
+# over constants are the aggregate form of the same thing (a memory's
+# initial contents) and are checked contextually in level_violations.
 NETLIST_OPCODES = frozenset({"sig", "con", "del", "inst", "const"})
+
+_NETLIST_AGGREGATE = frozenset({"const", "array", "struct"})
+
+
+def _is_constant_aggregate(inst):
+    """array/struct instructions whose whole tree is constant."""
+    if inst.opcode not in ("array", "struct"):
+        return False
+    return all(
+        getattr(op, "opcode", None) in _NETLIST_AGGREGATE
+        and (op.opcode == "const" or _is_constant_aggregate(op))
+        for op in inst.operands)
 
 
 def allowed_opcodes(level):
@@ -64,6 +78,8 @@ def level_violations(module, level):
             continue
         for inst in unit.instructions():
             if inst.opcode not in opcodes:
+                if level == NETLIST and _is_constant_aggregate(inst):
+                    continue  # aggregate constant (e.g. a sig's initial)
                 issues.append(
                     f"@{unit.name}: instruction '{inst.opcode}' is not "
                     f"allowed in {level} LLHD")

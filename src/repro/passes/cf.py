@@ -75,6 +75,12 @@ def fold_branches(unit):
         cond = _const_value(term.branch_condition())
         if cond is None:
             continue
+        from ..ir.ninevalued import LogicVec
+
+        if isinstance(cond, LogicVec):
+            if not cond.is_two_valued:
+                continue  # an unknown branch condition stays a runtime issue
+            cond = cond.to_int()
         dest_false, dest_true = term.operands[1], term.operands[2]
         taken = dest_true if cond else dest_false
         not_taken = dest_false if cond else dest_true

@@ -89,11 +89,13 @@ class CSEPass(UnitPass):
 
 
 def _run_linear(body):
-    """CSE over an entity body (straight-line data flow).
+    """CSE over one straight-line scope: an entity body, or a single
+    process block (deseq's sample merging).
 
-    Unlike processes, an entity body executes atomically within one
-    activation, so two probes of the same signal observe the same value
-    and may be merged.
+    Within such a scope execution is atomic — an entity body runs whole
+    per activation, a process block sits inside one temporal instant —
+    so two probes of the same signal observe the same value and may be
+    merged, unlike probes in different blocks of a process.
     """
     merged = 0
     seen = {}

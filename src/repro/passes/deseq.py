@@ -15,8 +15,24 @@ and rewrites them into entities with explicit ``reg`` storage:
 4. Emit a ``reg`` in a new entity, cloning the full DFG of the driven
    value, delay, and conditions.
 
+Nine-valued (``l1``) triggers: the Moore frontend detects edges on logic
+clocks by comparing X01 levels against the edge's target level —
+``posedge`` is ``eq(now, '1') ∧ ¬eq(old, '1')``, ``negedge`` is
+``eq(now, '0') ∧ ¬eq(old, '0')`` — so an ``X``/``Z`` phase matches
+neither edge while ``X → 1`` still counts as rising (IEEE 1800).  The DNF
+literals of such a condition are the i1 ``eq``/``neq`` comparisons, not
+raw probes; :func:`_classify_literal` recognizes them as level samples of
+the probed ``l1`` signal, and the emitted ``reg`` uses the *probe* as its
+trigger.  This is exact: the simulators' ``reg`` edge detection
+(``sim.eval.logic_level``) fires a rise when the level is 1 now and was
+0-or-unknown before, which is precisely ``eq(now,'1') ∧ ¬eq(old,'1')``
+for a one-bit trigger.  Polarity combinations with no ``reg``
+equivalent (e.g. "was 1, now anything-but-1", which would fire on
+``1 → X``) are rejected.
+
 Processes whose drives all map to registers are replaced by the entity;
-anything else is left untouched (the lowering pipeline then rejects it).
+anything else is left untouched (the lowering pipeline then rejects it,
+carrying the precise :class:`DeseqError` reason when one was recorded).
 """
 
 from __future__ import annotations
@@ -61,21 +77,64 @@ def _root_signal(value):
     return value if value.type.is_signal else None
 
 
+def _logic_level_literal(value):
+    """Decompose an i1 literal testing the X01 level of an ``l1`` probe.
+
+    The Moore frontend expresses nine-valued edge and level tests as
+    ``eq``/``neq`` of a one-bit probe against a two-valued one-bit
+    constant.  For a one-bit vector ``neq(x, '0')`` is the same predicate
+    as ``eq(x, '1')`` (both are false on any unknown), so both normalize
+    to ``(probe, level)``.  Returns None when the literal is not of this
+    shape.
+    """
+    if not isinstance(value, Instruction) or value.opcode not in ("eq",
+                                                                  "neq"):
+        return None
+    a, b = value.operands
+    if isinstance(a, Instruction) and a.opcode == "const":
+        a, b = b, a
+    if not (isinstance(a, Instruction) and a.opcode == "prb"
+            and a.type.is_logic and a.type.width == 1):
+        return None
+    if not (isinstance(b, Instruction) and b.opcode == "const"
+            and b.type.is_logic and b.type.width == 1):
+        return None
+    const = b.attrs["value"]
+    if not const.is_two_valued:
+        return None
+    level = const.to_int()
+    if value.opcode == "neq":
+        level = 1 - level
+    return a, level
+
+
 def _classify_literal(value, b0, b1):
-    """-> ("past"|"present", root_signal) for probes, ("opaque", None)."""
-    if isinstance(value, Instruction) and value.opcode == "prb":
-        root = _root_signal(value.operands[0])
-        if value.parent is b0:
-            return "past", root
-        if value.parent is b1:
-            return "present", root
-    return "opaque", None
+    """-> (kind, root_signal, level, sample_value).
+
+    ``kind`` is ``"past"``/``"present"`` for samples, ``"opaque"``
+    otherwise.  ``level`` is None for plain i1 probes and 0/1 for
+    nine-valued level tests (``eq``/``neq`` of an ``l1`` probe against a
+    constant); ``sample_value`` is the probe instruction itself — the
+    value a ``reg`` trigger observes.
+    """
+    probe = value
+    level = None
+    decomposed = _logic_level_literal(value)
+    if decomposed is not None:
+        probe, level = decomposed
+    if isinstance(probe, Instruction) and probe.opcode == "prb":
+        root = _root_signal(probe.operands[0])
+        if probe.parent is b0:
+            return "past", root, level, probe
+        if probe.parent is b1:
+            return "present", root, level, probe
+    return "opaque", None, None, None
 
 
 def _analyze_drive(drv, b0, b1):
     """Map one drive's condition DNF into trigger specs.
 
-    Returns a list of ``(mode, present_sample_value, rest_literals)``
+    Returns a list of ``(mode, trigger_value, rest_literals, assignment)``
     where rest_literals is a tuple of (value, positive) evaluated in the
     present TR.  Raises DeseqError when no sequential pattern matches.
     """
@@ -87,34 +146,53 @@ def _analyze_drive(drv, b0, b1):
         return []
     specs = []
     for term in terms(dnf):
-        past = {}     # id(root) -> (lit_value, positive, root)
-        present = {}  # id(root) -> (lit_value, positive, root)
+        # Samples keyed by (id(root), level): a nine-valued signal has a
+        # distinct is-0 and is-1 predicate (an X satisfies neither), so
+        # the two levels are independent literals.  i1 probes use level
+        # None.  Entries: (lit_value, positive, root, probe).
+        past = {}
+        present = {}
         opaque = []
         for value, positive in sorted(
                 literals(term), key=lambda lit: id(lit[0])):
-            kind, root = _classify_literal(value, b0, b1)
+            kind, root, level, probe = _classify_literal(value, b0, b1)
             if kind == "past":
-                if id(root) in past:
+                if (id(root), level) in past:
                     raise DeseqError("signal sampled twice in the past")
-                past[id(root)] = (value, positive, root)
+                past[id(root), level] = (value, positive, root, probe)
             elif kind == "present":
-                if id(root) in present:
+                if (id(root), level) in present:
                     raise DeseqError("signal sampled twice in the present")
-                present[id(root)] = (value, positive, root)
+                present[id(root), level] = (value, positive, root, probe)
             else:
                 opaque.append((value, positive))
         edges = []
-        for key, (p_val, p_pos, root) in past.items():
+        for key, (p_val, p_pos, root, p_probe) in past.items():
             if key not in present:
                 raise DeseqError(
                     "past sample without a matching present sample")
-            q_val, q_pos, _ = present[key]
-            if not p_pos and q_pos:
-                edges.append(("rise", q_val, key))
-            elif p_pos and not q_pos:
-                edges.append(("fall", q_val, key))
+            q_val, q_pos, _, q_probe = present[key]
+            level = key[1]
+            if level is None:
+                if not p_pos and q_pos:
+                    edges.append(("rise", q_val, key))
+                elif p_pos and not q_pos:
+                    edges.append(("fall", q_val, key))
+                else:
+                    raise DeseqError(
+                        "past/present samples with equal polarity")
             else:
-                raise DeseqError("past/present samples with equal polarity")
+                # Nine-valued: ¬was-at-level ∧ now-at-level is exactly
+                # the reg edge toward that level (unknown phases fire
+                # neither).  The opposite combination would fire on a
+                # transition *into* an unknown, which reg cannot express.
+                if not p_pos and q_pos:
+                    edges.append(("rise" if level else "fall", q_probe,
+                                  key))
+                else:
+                    raise DeseqError(
+                        "nine-valued past/present polarity combination "
+                        "has no reg equivalent")
         if len(edges) > 1:
             raise DeseqError("more than one edge in a single trigger term")
         rest = list(opaque)
@@ -123,22 +201,35 @@ def _analyze_drive(drv, b0, b1):
         assignment = {}
         for value, positive in literals(term):
             assignment[id(value)] = 1 if positive else 0
+        ordered = sorted(present.items(),
+                         key=lambda kv: (kv[0][0], kv[0][1] or 0))
         if edges:
             mode, trigger_value, edge_key = edges[0]
-            for key, (q_val, q_pos, _) in present.items():
+            for key, (q_val, q_pos, _, _probe) in ordered:
                 if key != edge_key:
                     rest.append((q_val, q_pos))
             specs.append((mode, trigger_value, tuple(rest), assignment))
         else:
-            # Level trigger: pick the first present sample as the level.
-            if not present:
+            # Level trigger: pick the first present sample that a reg
+            # level mode can express.  A positive nine-valued sample at
+            # level L is a high/low trigger on the probe; a *negative*
+            # one ("not at level L", true for unknowns too) has no reg
+            # mode and stays a condition literal.
+            chosen = None
+            for key, (q_val, q_pos, _, q_probe) in ordered:
+                if key[1] is None:
+                    chosen = ("high" if q_pos else "low", q_val, key)
+                elif q_pos:
+                    chosen = ("high" if key[1] else "low", q_probe, key)
+                if chosen is not None:
+                    break
+            if chosen is None:
                 raise DeseqError("term has no samples to trigger on")
-            items = sorted(present.items(), key=lambda kv: kv[0])
-            (_, (q_val, q_pos, _)), *others = items
-            for _, (v, p, _) in others:
-                rest.append((v, p))
-            specs.append(("high" if q_pos else "low", q_val, tuple(rest),
-                          assignment))
+            mode, trigger_value, chosen_key = chosen
+            for key, (q_val, q_pos, _, _probe) in ordered:
+                if key != chosen_key:
+                    rest.append((q_val, q_pos))
+            specs.append((mode, trigger_value, tuple(rest), assignment))
     return _merge_either_edges(specs)
 
 
@@ -149,7 +240,11 @@ def _merge_either_edges(specs):
     for i, (mode, trig, rest, assign) in enumerate(specs):
         if used[i]:
             continue
-        if mode in ("rise", "fall"):
+        if mode in ("rise", "fall") and not trig.type.is_logic:
+            # Nine-valued rise/fall stay separate triggers: the "both"
+            # reg mode fires on *any* value change (X → Z included),
+            # whereas the behavioural rise ∨ fall only fires on edges
+            # between defined levels.
             partner = "fall" if mode == "rise" else "rise"
             for j in range(i + 1, len(specs)):
                 m2, t2, r2, a2 = specs[j]
@@ -176,25 +271,29 @@ def _merge_probes(proc):
     instant, so they are interchangeable; unifying them is what lets the
     DNF literals of one signal line up (e.g. the reset sampled both by the
     edge detector and by the body's ``if``).
+
+    Merging probes exposes pure duplicates downstream — in four-state
+    mode every boolean test of a signal is a distinct ``neq(prb, '0')``
+    instruction, and those only become CSE-able once their probe operands
+    are unified.  CSE's single-scope scan does both in one pass (its
+    probe merging shares exactly this rationale: within one instant all
+    probes of a signal observe the same value), which is what lets the
+    nine-valued DNF literals of one signal line up too.
     """
+    from .cse import _run_linear
+
     for block in proc.blocks:
-        first = {}
-        for inst in list(block.instructions):
-            if inst.opcode != "prb":
-                continue
-            key = id(inst.operands[0])
-            earlier = first.get(key)
-            if earlier is None:
-                first[key] = inst
-            else:
-                inst.replace_all_uses_with(earlier)
-                inst.erase()
+        _run_linear(block)
 
 
-def desequentialize(module, proc, am=None):
+def desequentialize(module, proc, am=None, reasons=None):
     """Rewrite one matching process into an entity with reg storage.
 
     Returns the new entity, or None if the process does not match.
+    ``reasons`` optionally collects the precise :class:`DeseqError`
+    message per rejected process name (consumed by the lowering pipeline
+    so a non-strict run reports *why* deseq refused, e.g. "more than one
+    edge in a single trigger term", instead of a generic shape message).
     """
     if not matches_shape(proc, am):
         return None
@@ -207,7 +306,9 @@ def desequentialize(module, proc, am=None):
         return None
     try:
         analyzed = [(d, _analyze_drive(d, b0, b1)) for d in drives]
-    except DeseqError:
+    except DeseqError as error:
+        if reasons is not None:
+            reasons[proc.name] = str(error)
         return None
 
     entity = Entity(
@@ -249,7 +350,9 @@ def desequentialize(module, proc, am=None):
                 triggers.append((mode, value, trigger, cond, delay))
             if triggers:
                 builder.reg(signal, triggers)
-    except (DeseqError, KeyError, ValueError):
+    except (DeseqError, KeyError, ValueError) as error:
+        if reasons is not None and isinstance(error, DeseqError):
+            reasons[proc.name] = str(error)
         return None
 
     module.remove(proc.name)
@@ -391,11 +494,11 @@ def _materialize(const_value, ty, builder):
     return builder.const_int(ty, const_value)
 
 
-def run(module, am=None):
+def run(module, am=None, reasons=None):
     """Desequentialize every matching process; returns how many."""
     count = 0
     for proc in list(module.processes()):
-        if desequentialize(module, proc, am) is not None:
+        if desequentialize(module, proc, am, reasons) is not None:
             count += 1
     return count
 

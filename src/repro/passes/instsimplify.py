@@ -3,11 +3,21 @@
 A peephole pass reducing short instruction sequences to simpler forms,
 similar to LLVM's instruction combining: algebraic identities, redundant
 selections, double negations, and aggregate forwarding.
+
+Nine-valued (``lN``) operands get their own, smaller rule set: most
+two-valued identities are unsound under IEEE 1164 (``x & x`` is ``X``
+for ``x = Z``, ``eq(x, x)`` is *false* when ``x`` carries an unknown,
+``~~x`` maps ``Z`` to ``X``), so only the absorbing folds that hold for
+every one of the nine states survive: AND with a forcing all-zero
+constant, OR with a forcing all-one constant, and constant two-valued
+``mux`` selectors.  The reflexive comparisons that IEEE 1164 answers
+with 0 on unknowns (``neq``/``ult``/…) remain valid and are kept.
 """
 
 from __future__ import annotations
 
 from ..ir.instructions import Instruction
+from ..ir.ninevalued import LogicVec
 from ..ir.values import Value
 from .manager import PRESERVE_ALL, UnitPass, register_pass
 
@@ -22,11 +32,26 @@ def _all_ones(ty):
     return (1 << ty.width) - 1
 
 
+def _forcing_const(value, bit):
+    """True if ``value`` is an lN constant of all forcing-``bit`` states."""
+    if not isinstance(value, LogicVec):
+        return False
+    if bit:
+        return value == LogicVec.filled("1", value.width)
+    return value == LogicVec.from_int(0, value.width)
+
+
 def _simplify(inst):
     """Return a replacement Value for ``inst``, or None."""
     op = inst.opcode
     ops = inst.operands
-    if op in ("add", "or", "xor", "sub", "shl", "shr"):
+    # x op 0 identities hold for two-valued types only: an lN shift (even
+    # by 0) degrades unknown-carrying vectors to all-X, and lN add/or/xor
+    # with a zero constant normalize weak/unknown states (the lN constant
+    # never compares equal to the int 0 anyway, but the shift *amount* is
+    # an i32 constant, so shifts need the explicit operand-type guard).
+    if op in ("add", "or", "xor", "sub", "shl", "shr") \
+            and not ops[0].type.is_logic:
         b = _const_of(ops[1]) if len(ops) > 1 else None
         if b == 0:
             return ops[0]
@@ -65,30 +90,54 @@ def _simplify(inst):
             c = _const_of(ops[i])
             if c == _all_ones(inst.type):
                 return ("const", c)
-    if op == "not" and isinstance(ops[0], Instruction) \
+    # Nine-valued absorbing elements: a forcing 0 wins every AND, a
+    # forcing 1 wins every OR — the only operand-independent lN
+    # identities (0 & U = 0 and 1 | U = 1 in IEEE 1164).
+    if op == "and" and inst.type.is_logic:
+        for i in range(2):
+            if _forcing_const(_const_of(ops[i]), 0):
+                return ("const", LogicVec.from_int(0, inst.type.width))
+    if op == "or" and inst.type.is_logic:
+        for i in range(2):
+            if _forcing_const(_const_of(ops[i]), 1):
+                return ("const",
+                        LogicVec.filled("1", inst.type.width))
+    # ~~x / --x cancel for two-valued types only: lN NOT and NEG
+    # normalize unknowns (~~Z is X, not Z).
+    if op == "not" and inst.type.is_int and isinstance(ops[0], Instruction) \
             and ops[0].opcode == "not":
         return ops[0].operands[0]
-    if op == "neg" and isinstance(ops[0], Instruction) \
+    if op == "neg" and inst.type.is_int and isinstance(ops[0], Instruction) \
             and ops[0].opcode == "neg":
         return ops[0].operands[0]
-    if op == "eq" and ops[0] is ops[1]:
+    # Reflexive comparisons: an unknown anywhere makes every lN
+    # comparison *false*, so x == x and x <= x may still be 0 — only the
+    # comparisons that answer 0 fold for logic operands.
+    if op == "eq" and ops[0] is ops[1] and not ops[0].type.is_logic:
         return ("const", 1)
     if op in ("neq", "ult", "ugt", "slt", "sgt") and ops[0] is ops[1]:
         return ("const", 0)
-    if op in ("ule", "uge", "sle", "sge") and ops[0] is ops[1]:
+    if op in ("ule", "uge", "sle", "sge") and ops[0] is ops[1] \
+            and not ops[0].type.is_logic:
         return ("const", 1)
     if op == "mux":
         arr = ops[0]
         sel = _const_of(ops[1])
+        if isinstance(sel, LogicVec):
+            sel = sel.to_int() if sel.is_two_valued else None
+        # An unknown lN selector is a runtime error, which folding away
+        # the mux would erase — same-element folds need a selector type
+        # that cannot be unknown (or a known-constant selector).
+        sel_safe = sel is not None or not ops[1].type.is_logic
         if isinstance(arr, Instruction) and arr.opcode == "array" \
                 and not arr.attrs.get("splat"):
             elements = arr.operands
             if sel is not None:
                 return elements[min(sel, len(elements) - 1)]
-            if all(e is elements[0] for e in elements):
+            if sel_safe and all(e is elements[0] for e in elements):
                 return elements[0]
         if isinstance(arr, Instruction) and arr.opcode == "array" \
-                and arr.attrs.get("splat"):
+                and arr.attrs.get("splat") and sel_safe:
             return arr.operands[0]
     if op == "extf" and not inst.has_dynamic_index:
         agg = ops[0]

@@ -104,14 +104,18 @@ def lower_to_structural(module, strict=True, verify=True, pm=None):
             report.rejected.append((proc.name, str(error)))
 
     # PL first (combinational), then Deseq (sequential), then PL again for
-    # any process Deseq normalized.
+    # any process Deseq normalized.  Deseq records the precise reason it
+    # refused a shape-matching process (e.g. a multi-edge trigger term),
+    # which the rejection report below prefers over the generic message.
+    deseq_reasons = {}
     for proc in list(module.processes()):
         if process_lowering.can_lower(proc):
             process_lowering.lower_process(module, proc)
             am.forget(proc)
             report.lowered_by_pl.append(proc.name)
     for proc in list(module.processes()):
-        if deseq.desequentialize(module, proc, am) is not None:
+        if deseq.desequentialize(module, proc, am, deseq_reasons) \
+                is not None:
             report.lowered_by_deseq.append(proc.name)
     for proc in list(module.processes()):
         if process_lowering.can_lower(proc):
@@ -123,7 +127,11 @@ def lower_to_structural(module, strict=True, verify=True, pm=None):
     for proc in module.processes():
         if proc.name in rejected_names:
             continue
-        reason = _rejection_reason(proc, am)
+        reason = deseq_reasons.get(proc.name)
+        if reason is not None:
+            reason = f"deseq: {reason}"
+        else:
+            reason = _rejection_reason(proc, am)
         if strict:
             raise LoweringRejection(proc.name, reason)
         report.rejected.append((proc.name, reason))

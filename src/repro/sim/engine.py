@@ -127,7 +127,7 @@ class SignalInstance:
 
     __slots__ = ("name", "type", "value", "pending", "proc_waiters",
                  "entity_waiters", "_entity_list", "index", "_rep",
-                 "initial")
+                 "initial", "aliases")
 
     def __init__(self, name, type, initial, index):
         self.name = name
@@ -140,6 +140,7 @@ class SignalInstance:
         self.entity_waiters = {}  # activity.order -> activity (persistent)
         self._entity_list = ()    # cached tuple of entity waiters
         self._rep = None
+        self.aliases = (name,)    # every name merged into this net (con)
 
     def find(self):
         """The representative net (after ``con`` merging)."""
@@ -177,6 +178,10 @@ class SignalInstance:
         a.proc_waiters.update(b.proc_waiters)
         a.entity_waiters.update(b.entity_waiters)
         a._entity_list = None
+        # The merged net keeps recording trace history under every
+        # member's name: a netlist `con` must not silently rename the
+        # signals the pre-techmap design drove directly.
+        a.aliases = a.aliases + b.aliases
         if isinstance(a.value, LogicVec) and isinstance(b.value, LogicVec):
             a.value = a.value.resolve(b.value)
         elif a.value != b.value:

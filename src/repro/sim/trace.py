@@ -30,15 +30,19 @@ class Trace:
         if self.signal_filter is not None and not self.signal_filter(signal):
             return
         changes = self.changes
-        name = signal.name
-        history = changes.get(name)
-        if history is None:
-            history = changes[name] = []
         fs = time[0]
-        if history and history[-1][0] == fs:
-            history[-1] = (fs, value)
-        else:
-            history.append((fs, value))
+        # A net that absorbed others through `con` records under every
+        # merged name, so netlist-level traces stay comparable with the
+        # pre-techmap design signal-for-signal (aliases is a 1-tuple for
+        # the vast majority of nets, which never merged).
+        for name in signal.aliases:
+            history = changes.get(name)
+            if history is None:
+                history = changes[name] = []
+            if history and history[-1][0] == fs:
+                history[-1] = (fs, value)
+            else:
+                history.append((fs, value))
 
     def finalize(self):
         """Collapse consecutive identical values (delta-step churn)."""
@@ -53,6 +57,17 @@ class Trace:
 
     def signals(self):
         return sorted(self.changes)
+
+    def live_signals(self):
+        """Names that record an actual change beyond their initial value.
+
+        The semantic-preservation harnesses require every live signal of
+        a reference run to survive a transformation under its own name
+        (declared-but-unused nets may legitimately be DCE'd away); this
+        is the one shared definition of "live".
+        """
+        return {name for name, history in self.finalize().changes.items()
+                if len(history) > 1}
 
     def history(self, name):
         return list(self.changes.get(name, []))

@@ -1,0 +1,13 @@
+"""Design-suite test helpers shared across test packages."""
+
+from repro.designs import expand_cycle_budgets
+
+#: Small per-design cycle budgets shared by the cross-engine equivalence
+#: oracle and the staged semantic-preservation harness: enough cycles
+#: for every testbench to exercise its self-checks without making the
+#: interpreter runs slow.  ``_l`` variants share their sibling's budget.
+SUITE_TEST_CYCLES = expand_cycle_budgets({
+    "gray": 30, "fir": 20, "lfsr": 30, "lzc": 20, "fifo": 30,
+    "cdc_gray": 25, "cdc_strobe": 12, "rr_arbiter": 30,
+    "stream_delayer": 30, "riscv": 150, "sorter": 6,
+})

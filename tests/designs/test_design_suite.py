@@ -3,17 +3,17 @@
 import pytest
 
 from repro.designs import (
-    ALL_DESIGNS, DESIGNS, FOUR_STATE_ORDER, TABLE2_ORDER, simulate_design,
+    ALL_DESIGNS, DESIGNS, FOUR_STATE_ORDER, TABLE2_ORDER,
+    expand_cycle_budgets, simulate_design,
 )
 from repro.ir import verify_module
 from repro.designs import compile_design
 
-SMALL_CYCLES = {
+SMALL_CYCLES = expand_cycle_budgets({
     "gray": 40, "fir": 25, "lfsr": 40, "lzc": 25, "fifo": 40,
     "cdc_gray": 30, "cdc_strobe": 12, "rr_arbiter": 40,
     "stream_delayer": 40, "riscv": 150, "sorter": 10,
-    "gray_l": 40, "fir_l": 25, "fifo_l": 40, "cdc_gray_l": 30,
-}
+})
 
 
 def test_registry_is_complete():

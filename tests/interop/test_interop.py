@@ -3,7 +3,8 @@
 import pytest
 
 from repro.interop import (
-    export_verilog, full_table, llhd_row, render_table, technology_map,
+    TechmapError, export_verilog, full_table, llhd_row, netlist_design,
+    render_table, technology_map,
 )
 from repro.ir import (
     NETLIST, STRUCTURAL, classify, link_modules, parse_module,
@@ -97,10 +98,10 @@ def test_techmap_produces_valid_netlist():
     """)
     netlist, library = technology_map(module)
     assert classify(netlist) == NETLIST
-    # The netlist instantiates a declared adder cell.
+    # The netlist instantiates a declared adder cell (typed i8 x i8).
     comb = netlist.get("comb")
     insts = [i for i in comb.body if i.opcode == "inst"]
-    assert any(i.callee == "cell_add_8" for i in insts)
+    assert any(i.callee == "cell_add_i8_i8" for i in insts)
 
 
 def test_techmapped_netlist_simulates_like_structural():
@@ -142,3 +143,250 @@ def test_techmapped_netlist_simulates_like_structural():
     linked = link_modules([netlist, parse_module(tb), library])
     low = simulate(linked, "top")
     assert low.trace.history("top.y")[-1][1] == 42
+
+
+# -- four-state and sequential technology mapping ------------------------------
+
+
+NINE_VALUED_COMB = """
+entity @lcomb (l8$ %a, l8$ %b) -> (l8$ %y, i1$ %same) {
+  %ap = prb l8$ %a
+  %bp = prb l8$ %b
+  %x = xor l8 %ap, %bp
+  %n = not l8 %x
+  %eq = eq l8 %ap, %bp
+  %t = const time 0s
+  drv l8$ %y, %n after %t
+  drv i1$ %same, %eq after %t
+}
+"""
+
+
+def test_techmap_maps_nine_valued_operators_onto_typed_cells():
+    module = parse_module(NINE_VALUED_COMB)
+    netlist, library = technology_map(module)
+    assert classify(netlist) == NETLIST
+    insts = [i for i in netlist.get("lcomb").body if i.opcode == "inst"]
+    callees = sorted(i.callee for i in insts)
+    assert "cell_xor_l8_l8" in callees
+    assert "cell_not_l8" in callees
+    assert "cell_eq_l8_l8" in callees
+    # The library holds behavioural lN cell models.
+    assert library.get("cell_xor_l8_l8") is not None
+
+
+def test_techmap_maps_reg_onto_storage_cell():
+    module = parse_module("""
+    entity @ff (l1$ %clk, l8$ %d) -> (l8$ %q) {
+      %t = const time 0s
+      %clkp = prb l1$ %clk
+      %dp = prb l8$ %d
+      reg l8$ %q, %dp rise %clkp after %t
+    }
+    """)
+    netlist, library = technology_map(module)
+    assert classify(netlist) == NETLIST
+    insts = [i for i in netlist.get("ff").body if i.opcode == "inst"]
+    assert len(insts) == 1
+    cell = library.get(insts[0].callee)
+    assert cell is not None
+    regs = [i for i in cell.body if i.opcode == "reg"]
+    assert len(regs) == 1
+    assert next(regs[0].reg_triggers())["mode"] == "rise"
+
+
+def test_techmap_preserves_nonzero_drive_delays_with_del():
+    module = parse_module("""
+    entity @dly (i8$ %a) -> (i8$ %y) {
+      %ap = prb i8$ %a
+      %t = const time 3ns
+      drv i8$ %y, %ap after %t
+    }
+    """)
+    netlist, _ = technology_map(module)
+    ops = [i.opcode for i in netlist.get("dly").body]
+    assert "del" in ops and "con" in ops
+
+
+def test_techmap_rejects_conditional_drives():
+    module = parse_module("""
+    entity @cond (i8$ %a, i1$ %c) -> (i8$ %y) {
+      %ap = prb i8$ %a
+      %cp = prb i1$ %c
+      %t = const time 0s
+      drv i8$ %y, %ap after %t if %cp
+    }
+    """)
+    with pytest.raises(TechmapError, match="conditional drives"):
+        technology_map(module)
+
+
+def test_techmap_rejects_non_constant_shift_amounts():
+    module = parse_module("""
+    entity @sh (i8$ %a, i32$ %n) -> (i8$ %y) {
+      %ap = prb i8$ %a
+      %np = prb i32$ %n
+      %s = shl i8 %ap, %np
+      %t = const time 0s
+      drv i8$ %y, %s after %t
+    }
+    """)
+    with pytest.raises(TechmapError, match="non-constant"):
+        technology_map(module)
+
+
+def test_techmap_rejects_behavioural_input_by_default():
+    module = parse_module("""
+    proc @p (i8$ %a) -> (i8$ %b) {
+    entry:
+      halt
+    }
+    """)
+    with pytest.raises(TechmapError, match="not Structural"):
+        technology_map(module)
+
+
+def test_netlist_design_carries_testbench_processes():
+    from repro.sim import simulate
+
+    module = parse_module("""
+    entity @inc (l8$ %a) -> (l8$ %y) {
+      %ap = prb l8$ %a
+      %one = const l8 "00000001"
+      %sum = add l8 %ap, %one
+      %t = const time 0s
+      drv l8$ %y, %sum after %t
+    }
+    entity @top () -> () {
+      %z = const l8 "00000000"
+      %a = sig l8 %z
+      %y = sig l8 %z
+      inst @inc (l8$ %a) -> (l8$ %y)
+      inst @stim () -> (l8$ %a)
+    }
+    proc @stim () -> (l8$ %a) {
+    entry:
+      %v = const l8 "00101001"
+      %t = const time 1ns
+      drv l8$ %a, %v after %t
+      halt
+    }
+    """)
+    linked = netlist_design(module)
+    result = simulate(linked, "top")
+    final = result.trace.history("top.y")[-1][1]
+    assert final.to_int() == 42
+
+
+def test_netlist_design_propagates_unknowns_through_gates():
+    """An X on a netlist input degrades the lN adder cell to all-X,
+    exactly like the structural entity it replaced."""
+    from repro.sim import simulate
+
+    module = parse_module("""
+    entity @inc (l8$ %a) -> (l8$ %y) {
+      %ap = prb l8$ %a
+      %one = const l8 "00000001"
+      %sum = add l8 %ap, %one
+      %t = const time 0s
+      drv l8$ %y, %sum after %t
+    }
+    entity @top () -> () {
+      %z = const l8 "00000000"
+      %a = sig l8 %z
+      %y = sig l8 %z
+      inst @inc (l8$ %a) -> (l8$ %y)
+      inst @stim () -> (l8$ %a)
+    }
+    proc @stim () -> (l8$ %a) {
+    entry:
+      %v = const l8 "0010X001"
+      %t = const time 1ns
+      drv l8$ %a, %v after %t
+      halt
+    }
+    """)
+    linked = netlist_design(module)
+    result = simulate(linked, "top")
+    final = result.trace.history("top.y")[-1][1]
+    assert str(final) == "XXXXXXXX"
+
+
+def test_netlist_design_preserves_nonzero_signal_initials():
+    """Regression: cell result nets used to be seeded with zero, and
+    con-ing them onto a target whose sig initial is nonzero crashed
+    elaboration with 'conflicting initial values'."""
+    from repro.sim import simulate
+
+    module = parse_module("""
+    entity @comb (i8$ %a) -> () {
+      %five = const i8 5
+      %y = sig i8 %five
+      %ap = prb i8$ %a
+      %one = const i8 1
+      %s = add i8 %ap, %one
+      %t = const time 0s
+      drv i8$ %y, %s after %t
+    }
+    entity @top () -> () {
+      %z = const i8 0
+      %a = sig i8 %z
+      inst @comb (i8$ %a) -> ()
+      inst @stim () -> (i8$ %a)
+    }
+    proc @stim () -> (i8$ %a) {
+    entry:
+      %v = const i8 41
+      %t = const time 1ns
+      drv i8$ %a, %v after %t
+      halt
+    }
+    """)
+    linked = netlist_design(module)
+    result = simulate(linked, "top")
+    assert result.trace.history("top.comb.y")[-1][1] == 42
+
+
+def test_netlist_design_buffers_conflicting_target_initials():
+    """One mapped value driven onto two targets with different nonzero
+    initials, and a constant drive onto a differently-initialized net:
+    each target keeps its own initial via a buffer cell instead of
+    crashing the con merge at elaboration."""
+    from repro.sim import simulate
+
+    module = parse_module("""
+    entity @comb (i8$ %a) -> () {
+      %five = const i8 5
+      %seven = const i8 7
+      %nine = const i8 9
+      %three = const i8 3
+      %y1 = sig i8 %five
+      %y2 = sig i8 %seven
+      %yc = sig i8 %nine
+      %ap = prb i8$ %a
+      %one = const i8 1
+      %s = add i8 %ap, %one
+      %t = const time 0s
+      drv i8$ %y1, %s after %t
+      drv i8$ %y2, %s after %t
+      drv i8$ %yc, %three after %t
+    }
+    entity @top () -> () {
+      %z = const i8 0
+      %a = sig i8 %z
+      inst @comb (i8$ %a) -> ()
+      inst @stim () -> (i8$ %a)
+    }
+    proc @stim () -> (i8$ %a) {
+    entry:
+      %v = const i8 41
+      %t = const time 1ns
+      drv i8$ %a, %v after %t
+      halt
+    }
+    """)
+    linked = netlist_design(module)
+    result = simulate(linked, "top")
+    assert result.trace.history("top.comb.y1")[-1][1] == 42
+    assert result.trace.history("top.comb.y2")[-1][1] == 42
+    assert result.trace.history("top.comb.yc")[-1][1] == 3

@@ -1,0 +1,283 @@
+"""Desequentialization of nine-valued (four-state) clocked processes.
+
+The heart of the four-state lowering pipeline: a Moore-compiled
+``always_ff @(posedge clk)`` on an ``l1`` clock must become a ``reg``
+whose edge detection agrees with the behavioural eq/not/and network for
+*every* IEEE 1164 old → new state pair — 81 combinations per edge
+direction, checked against the verbatim tables in
+``tests/ir/oracle1164.py``: an edge toward level L fires iff the X01
+projection of the new value is L and the old value's projection was not
+(so ``X → 1`` rises, ``1 → X`` does not fall, ``X → Z`` is no edge).
+
+Also covered: the multi-edge trigger term that deseq cannot express is
+*reported* as a rejection with its precise reason instead of silently
+falling back to a generic shape message (regression for the former
+``DeseqError`` swallow at deseq.py:118), and the nine-valued polarity
+combinations without a reg equivalent are refused.
+"""
+
+import pytest
+
+from repro.ir import Builder, parse_module, verify_module
+from repro.ir.ninevalued import VALUES, LogicVec
+from repro.ir.units import Entity, Process
+from repro.ir.values import TimeValue
+from repro.moore import compile_sv
+from repro.passes import deseq, lower_to_structural
+from repro.sim import simulate
+
+from ..ir.oracle1164 import TO_X01_TABLE
+
+DFF_SV = {
+    "posedge": """
+module dff (input clk, input [7:0] d, output logic [7:0] q);
+  always_ff @(posedge clk) q <= d;
+endmodule
+""",
+    "negedge": """
+module dff (input clk, input [7:0] d, output logic [7:0] q);
+  always_ff @(negedge clk) q <= d;
+endmodule
+""",
+}
+
+_NS = 1_000_000  # femtoseconds
+
+
+def _attach_stimulus(module, old, new):
+    """Add a top entity: dff on an l1 clock preset to ``old``, plus a
+    stimulus that stabilizes d and then drives the clock to ``new``."""
+    top = Entity("top", (), (), (), ())
+    module.add(top)
+    b = Builder.at_end(top.body)
+    clk = b.sig(b.const_logic(old), name="clk")
+    d = b.sig(b.const_logic(LogicVec.from_int(0, 8)), name="d")
+    q = b.sig(b.const_logic(LogicVec.from_int(0, 8)), name="q")
+    b.inst("dff", [clk, d], [q])
+    stim = Process("stim", (), (), [clk.type, d.type], ["clk", "d"])
+    module.add(stim)
+    entry = stim.create_block("entry")
+    sb = Builder.at_end(entry)
+    data = sb.const_logic(LogicVec.from_int(0x55, 8))
+    sb.drv(stim.outputs[1], data, sb.const_time(TimeValue(1 * _NS)))
+    sb.drv(stim.outputs[0], sb.const_logic(new),
+           sb.const_time(TimeValue(3 * _NS)))
+    sb.halt()
+    Builder.at_end(top.body).inst(stim, [], [clk, d])
+    return module
+
+
+def _edge_fires(edge, old, new):
+    """The oracle: does a reg edge toward the target level fire?"""
+    target = "1" if edge == "posedge" else "0"
+    return (TO_X01_TABLE[new] == target
+            and TO_X01_TABLE[old] != target)
+
+
+@pytest.mark.parametrize("edge", sorted(DFF_SV))
+def test_deseq_edge_oracle_all_81_pairs(edge):
+    """Lowered reg and behavioural process agree on every old→new pair,
+    and both match the IEEE 1164 X01 projection oracle."""
+    for old in VALUES:
+        for new in VALUES:
+            behavioural = compile_sv(DFF_SV[edge], four_state=True)
+            lowered = compile_sv(DFF_SV[edge], four_state=True)
+            report = lower_to_structural(lowered)
+            assert len(report.lowered_by_deseq) == 1, (edge, old, new)
+
+            _attach_stimulus(behavioural, old, new)
+            _attach_stimulus(lowered, old, new)
+            ref = simulate(behavioural, "top")
+            low = simulate(lowered, "top")
+            assert ref.trace.differences(low.trace) == [], \
+                f"{edge}: {old} -> {new}"
+
+            fired = any(v.to_int() == 0x55 if v.is_two_valued else False
+                        for _, v in ref.trace.history("top.q"))
+            assert fired == _edge_fires(edge, old, new), \
+                f"{edge}: {old} -> {new}: fired={fired}"
+
+
+def test_fourstate_deseq_produces_l1_rise_trigger():
+    module = compile_sv(DFF_SV["posedge"], four_state=True)
+    report = lower_to_structural(module)
+    assert report.lowered_by_deseq == ["dff_always_ff_1"]
+    regs = [i for u in module for i in u.instructions()
+            if i.opcode == "reg"]
+    assert len(regs) == 1
+    trigger = next(regs[0].reg_triggers())
+    assert trigger["mode"] == "rise"
+    assert trigger["trigger"].opcode == "prb"
+    assert trigger["trigger"].type.is_logic
+    verify_module(module)
+
+
+def test_fourstate_async_reset_gets_rise_and_fall_triggers():
+    module = compile_sv("""
+module dff_rst (input clk, input rst_n, input [7:0] d,
+                output logic [7:0] q);
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 8'd0;
+    else q <= d;
+  end
+endmodule
+""", four_state=True)
+    report = lower_to_structural(module)
+    assert len(report.lowered_by_deseq) == 1
+    regs = [i for u in module for i in u.instructions()
+            if i.opcode == "reg"]
+    assert len(regs) == 1
+    modes = sorted(t["mode"] for t in regs[0].reg_triggers())
+    assert "rise" in modes and "fall" in modes
+
+
+TWO_EDGE_PROC = """
+proc @two_edges (i1$ %a, i1$ %b, i8$ %d) -> (i8$ %q) {
+init:
+  %a0 = prb i1$ %a
+  %b0 = prb i1$ %b
+  wait %check for %a, %b
+check:
+  %a1 = prb i1$ %a
+  %b1 = prb i1$ %b
+  %na0 = not i1 %a0
+  %nb0 = not i1 %b0
+  %ra = and i1 %na0, %a1
+  %rb = and i1 %nb0, %b1
+  %both = and i1 %ra, %rb
+  %dp = prb i8$ %d
+  %t = const time 0s
+  drv i8$ %q, %dp after %t if %both
+  br %init
+}
+"""
+
+
+def test_multi_edge_term_is_reported_not_swallowed():
+    """Regression: a term with two edges used to fail with the generic
+    'does not match a pattern' message; the precise deseq reason must
+    reach the LoweringReport under non-strict lowering."""
+    module = parse_module(TWO_EDGE_PROC)
+    report = lower_to_structural(module, strict=False)
+    assert report.lowered_by_deseq == []
+    reasons = dict(report.rejected)
+    assert "two_edges" in reasons
+    assert reasons["two_edges"] == \
+        "deseq: more than one edge in a single trigger term"
+
+
+def test_multi_edge_term_records_reason_via_desequentialize():
+    module = parse_module(TWO_EDGE_PROC)
+    reasons = {}
+    result = deseq.desequentialize(module, module.get("two_edges"),
+                                   reasons=reasons)
+    assert result is None
+    assert reasons == {
+        "two_edges": "more than one edge in a single trigger term"}
+
+
+def test_l1_polarity_without_reg_equivalent_is_rejected():
+    """`was 1, now not-1` would fire on 1 → X, which reg cannot express;
+    deseq must refuse it rather than silently change semantics."""
+    module = parse_module("""
+proc @weird (l1$ %clk, i8$ %d) -> (i8$ %q) {
+init:
+  %one = const l1 "1"
+  %c0 = prb l1$ %clk
+  %was = eq l1 %c0, %one
+  wait %check for %clk
+check:
+  %c1 = prb l1$ %clk
+  %now = eq l1 %c1, %one
+  %nnow = not i1 %now
+  %fire = and i1 %was, %nnow
+  %dp = prb i8$ %d
+  %t = const time 0s
+  drv i8$ %q, %dp after %t if %fire
+  br %init
+}
+""")
+    reasons = {}
+    result = deseq.desequentialize(module, module.get("weird"),
+                                   reasons=reasons)
+    assert result is None
+    assert "no reg equivalent" in reasons["weird"]
+
+
+def test_fourstate_accumulator_reaches_figure5_final_form():
+    """The paper's flagship lowering result, on nine-valued types:
+    inline + forward + reg-feedback reduce the four-state accumulator to
+    ``reg l32$ %q, %sum rise %clkp if %enp`` (Figure 5, bottom right)."""
+    from repro.ir import STRUCTURAL, print_module
+    from repro.passes import (
+        cleanup, forward_signals, inline_entity_insts,
+        simplify_reg_feedback,
+    )
+
+    module = compile_sv("""
+module acc (input clk, input [31:0] x, input en, output [31:0] q);
+  bit [31:0] d;
+  always_ff @(posedge clk) q <= #1ns d;
+  always_comb begin
+    d = q;
+    if (en) d = q + x;
+  end
+endmodule
+""", four_state=True)
+    lower_to_structural(module)
+    acc = module.get("acc")
+    inline_entity_insts(module, acc)
+    for name in [u.name for u in module if u.name != "acc"]:
+        module.remove(name)
+    cleanup(acc)
+    forward_signals(acc)
+    cleanup(acc)
+    simplify_reg_feedback(acc)
+    cleanup(acc)
+    verify_module(module, level=STRUCTURAL)
+    regs = [i for i in acc.body if i.opcode == "reg"]
+    assert len(regs) == 1
+    trigger = next(regs[0].reg_triggers())
+    assert trigger["mode"] == "rise"
+    assert trigger["value"].opcode == "add"
+    assert trigger["value"].type.is_logic
+    assert trigger["cond"] is not None
+    text = print_module(module)
+    assert "reg" in text and "mux" not in text
+
+
+def test_instsimplify_keeps_ln_shift_by_zero():
+    """Regression: `shl lN %x, 0` is NOT the identity — the engines
+    degrade any unknown-carrying vector to all-X on a shift, amount 0
+    included, so folding it away miscompiled X-propagation."""
+    from repro.passes import instsimplify
+    from repro.sim import simulate
+
+    module = parse_module("""
+entity @sh (l4$ %a) -> (l4$ %y) {
+  %ap = prb l4$ %a
+  %z = const i32 0
+  %s = shl l4 %ap, %z
+  %t = const time 0s
+  drv l4$ %y, %s after %t
+}
+entity @top () -> () {
+  %init = const l4 "0000"
+  %a = sig l4 %init
+  %y = sig l4 %init
+  inst @sh (l4$ %a) -> (l4$ %y)
+  inst @stim () -> (l4$ %a)
+}
+proc @stim () -> (l4$ %a) {
+entry:
+  %v = const l4 "0X10"
+  %t = const time 1ns
+  drv l4$ %a, %v after %t
+  halt
+}
+""")
+    instsimplify.run(module.get("sh"))
+    ops = [i.opcode for i in module.get("sh").body]
+    assert "shl" in ops, "lN shift by 0 must not fold away"
+    result = simulate(module, "top")
+    assert str(result.trace.history("top.y")[-1][1]) == "XXXX"

@@ -27,7 +27,9 @@ import random
 
 import pytest
 
-from repro.designs import ALL_DESIGNS, DESIGNS, compile_design
+from repro.designs import (
+    ALL_DESIGNS, DESIGNS, FOUR_STATE_ORDER, compile_design,
+)
 from repro.ir import Builder, Module, verify_module
 from repro.ir.ninevalued import LogicVec, VALUES
 from repro.ir.units import Entity, Process
@@ -35,14 +37,9 @@ from repro.ir.values import TimeValue
 from repro.sim import simulate
 from repro.sim.values import SimulationError
 
-# Small budgets: enough cycles for every testbench to exercise its
-# self-checks without making the interpreter runs slow.
-CYCLES = {
-    "gray": 30, "fir": 20, "lfsr": 30, "lzc": 20, "fifo": 30,
-    "cdc_gray": 25, "cdc_strobe": 12, "rr_arbiter": 30,
-    "stream_delayer": 30, "riscv": 150, "sorter": 6,
-    "gray_l": 30, "fir_l": 20, "fifo_l": 30, "cdc_gray_l": 25,
-}
+# Small budgets shared with the staged semantic-preservation harness
+# (see tests/designs/__init__.py).
+from ..designs import SUITE_TEST_CYCLES as CYCLES  # noqa: E402
 
 
 def _run(name, backend):
@@ -84,19 +81,29 @@ def _random_logic_text(rng, width):
     return "".join(rng.choice(_FUZZ_ALPHABET) for _ in range(width))
 
 
-def _inject_stimulus(module, top_name, seed, waves=6, drives_per_wave=3):
+def _inject_stimulus(module, top_name, seed, waves=6, drives_per_wave=3,
+                     exclude_names=frozenset()):
     """Splice a randomized stimulus process into the design's top entity.
 
     Drives random values — nine-valued strings with X/Z/L/H/W/U/-
     injections on ``lN`` nets, random integers on ``iN`` nets — onto up
     to four of the top's internal signals at randomized times.  Returns
     True if any signal was targeted.  Built from ``Random(seed)`` only,
-    so every backend sees a byte-identical module.
+    so every backend sees a byte-identical module.  ``exclude_names``
+    removes nets from the target pool (e.g. design-driven outputs, whose
+    multi-driver conflicts are not preserved across the drv → con
+    rewrite of the technology mapper).
     """
     rng = random.Random(seed)
     top = module.get(top_name)
-    candidates = [inst for inst in top.body if inst.opcode == "sig"
-                  and (inst.type.element.is_int or inst.type.element.is_logic)]
+    # Keyed by signal *name*, not body position: the same seed must pick
+    # the same nets before and after the lowering pipeline ran cleanup
+    # over the entity body (which may renumber or drop instructions).
+    candidates = sorted(
+        (inst for inst in top.body if inst.opcode == "sig"
+         and inst.name is not None and inst.name not in exclude_names
+         and (inst.type.element.is_int or inst.type.element.is_logic)),
+        key=lambda inst: inst.name)
     if not candidates:
         return False
     targets = rng.sample(candidates, min(len(candidates), 4))
@@ -216,6 +223,80 @@ def _random_logic_network(seed, n_sigs=4, n_ops=12, width=8, waves=8):
         Builder.at_end(top.body).inst(proc, [], sources)
     verify_module(module)
     return module
+
+
+# -- differential fuzz across the lowering pipeline ---------------------------
+
+
+def _design_driven_names(module, top_name):
+    """Names of top-level nets driven by design entities (or the top's
+    own continuous assigns): back-driving these has no physical
+    equivalent — the techmap turns those drives into net merges, where a
+    second driver resolves instead of being overwritten."""
+    top = module.get(top_name)
+    driven = set()
+    for inst in top.body:
+        if inst.opcode == "inst":
+            callee = module.get(inst.callee)
+            if callee is not None and getattr(callee, "is_entity", False):
+                driven.update(o.name for o in inst.inst_outputs()
+                              if o.name is not None)
+        elif inst.opcode == "drv":
+            target = inst.drv_signal()
+            if target.name is not None:
+                driven.add(target.name)
+    return frozenset(driven)
+
+
+@pytest.mark.parametrize("name", FOUR_STATE_ORDER)
+def test_fuzzed_stimulus_survives_lowering_to_netlist(name):
+    """The X/Z differential splicer, pushed through the full ``lower``
+    pipeline and the technology mapper: under hostile nine-valued
+    stimulus on the design's input nets (X/Z/W/L/H injections —
+    including on clocks), the netlist-level design must trace-match the
+    behavioural run.  This is what pins the X-aware ``reg`` edge
+    semantics of the lowered registers to the behavioural eq/not/and
+    edge detectors.
+
+    Nine-valued designs only: simultaneous multi-driver collisions
+    resolve commutatively under IEEE 1164, so the comparison is
+    well-defined; an ``iN`` net with two same-instant drivers has no
+    resolution function and its winner is driver-order dependent, which
+    the lowering legitimately reorders.
+    """
+    from repro.interop import netlist_design
+    from repro.passes import lower_to_structural
+
+    seed = f"{name}:lower"
+    behavioural = compile_design(name, cycles=CYCLES[name])
+    exclude = _design_driven_names(behavioural, DESIGNS[name].top)
+    if not _inject_stimulus(behavioural, DESIGNS[name].top, seed=seed,
+                            exclude_names=exclude):
+        pytest.skip(f"{name}: no injectable input nets")
+    verify_module(behavioural)
+    ref = _fuzz_run(behavioural, DESIGNS[name].top, "interp")
+
+    # Same compile + same seed = byte-identical module; the stimulus is
+    # injected *before* lowering and rides through the pipeline like any
+    # other testbench process (rejected by deseq/PL, left behavioural).
+    lowered = compile_design(name, cycles=CYCLES[name])
+    assert _inject_stimulus(lowered, DESIGNS[name].top, seed=seed,
+                            exclude_names=exclude)
+    lower_to_structural(lowered, strict=False, verify=False)
+    linked = netlist_design(lowered)
+    low = _fuzz_run(linked, DESIGNS[name].top, "interp")
+
+    # The engines must agree on whether the stimulus is fatal, and on
+    # the full trace when it is not.
+    assert (ref is None) == (low is None), \
+        f"{name}: only one of behavioural/netlist hit a runtime error"
+    if ref is None:
+        return
+    active = ref.trace.live_signals()
+    assert active <= set(low.trace.finalize().changes), \
+        f"{name}: live signals dropped at netlist level"
+    assert ref.trace.differences(low.trace) == []
+    assert ref.assertion_failures == low.assertion_failures
 
 
 @pytest.mark.parametrize("seed", range(6))
