@@ -32,16 +32,17 @@ from repro.designs import (
 from repro.sim import simulate
 
 from .common import (
-    BENCH_CYCLES, extrapolate, format_row, merge_bench_json,
-    run_sim_benchmarks, timed_simulation,
+    BENCH_CYCLES, baseline_from_results, compare_to_baseline, extrapolate,
+    format_row, merge_bench_json, run_sim_benchmarks, timed_simulation,
 )
 
 # Representative subset for --quick runs (CI smoke): covers a dataflow
 # filter, a FIFO with memory, the RISC-V core (process-heavy), the
-# sorter (compute-bound, where compiled execution dominates), and two
-# nine-valued variants exercising the packed value representation.
+# sorter (compute-bound, where compiled execution dominates), two
+# nine-valued variants exercising the packed value representation, and
+# a loop-heavy core that now unrolls to the netlist level.
 QUICK_DESIGNS = ("gray", "fir", "fifo", "riscv", "sorter",
-                 "gray_l", "fir_l")
+                 "gray_l", "fir_l", "lzc_l")
 
 #: Four-state designs measured additionally at the netlist level
 #: (lowered + technology-mapped): BENCH_sim.json then records what
@@ -177,6 +178,19 @@ def main(argv=None):
                         help="timing repetitions per point (min is kept)")
     parser.add_argument("--no-netlist", action="store_true",
                         help="skip the netlist-level four-state rows")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="compare marginal us/cycle against a "
+                             "committed baseline JSON; exit 1 when any "
+                             "engine regresses beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression for --compare "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="with --compare: do not cancel the uniform "
+                             "machine-speed shift before gating")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the measurements as a new committed "
+                             "baseline JSON")
     args = parser.parse_args(argv)
 
     if args.designs:
@@ -214,6 +228,38 @@ def main(argv=None):
                 f"{k} {v:.2f}x" for k, v in sorted(speedup.items())))
     print(f"wrote {args.out} [{args.label}] — traces identical across "
           "engines for all measured designs")
+
+    if args.write_baseline:
+        import json
+
+        baseline = baseline_from_results(
+            results, meta={"python": platform.python_version(),
+                           "runs": args.runs,
+                           "designs": list(designs)})
+        with open(args.write_baseline, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {args.write_baseline}")
+
+    if args.compare:
+        import json
+
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        regressions, lines = compare_to_baseline(
+            results, baseline, tolerance=args.tolerance,
+            normalize=not args.no_normalize)
+        print(f"bench-regression gate vs {args.compare} "
+              f"(tolerance {args.tolerance:.0%}):")
+        for line in lines:
+            print(line)
+        if regressions:
+            print(f"FAIL: {len(regressions)} cell(s) regressed beyond "
+                  f"{args.tolerance:.0%}:")
+            for name, engine, rel in regressions:
+                print(f"  {name}/{engine}: {rel:.2f}x")
+            return 1
+        print("gate passed: no engine regressed beyond the tolerance")
     return 0
 
 

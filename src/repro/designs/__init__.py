@@ -92,12 +92,10 @@ ALL_DESIGNS = TABLE2_ORDER + FOUR_STATE_ORDER
 #: Designs whose synthesizable core lowers *completely* (every design
 #: process becomes an entity; only the testbench stays behavioural), so
 #: the design reaches the netlist level under the technology mapper.
-#: ``lzc``/``rr_arbiter``/``riscv`` keep loop-heavy combinational
-#: processes TCFE cannot flatten and stop at the behavioural level.
-NETLIST_DESIGNS = ["gray", "fir", "lfsr", "fifo", "cdc_gray",
-                   "cdc_strobe", "stream_delayer", "sorter",
-                   "gray_l", "fir_l", "lfsr_l", "fifo_l", "cdc_gray_l",
-                   "cdc_strobe_l", "stream_delayer_l", "sorter_l"]
+#: Since the symbolic unroller and speculative TCFE flattened the
+#: loop-heavy combinational cores (``lzc``/``rr_arbiter``/``riscv``),
+#: this is the whole suite: all 22 designs.
+NETLIST_DESIGNS = list(TABLE2_ORDER) + list(FOUR_STATE_ORDER)
 
 
 def base_design_name(name):
@@ -137,6 +135,48 @@ def simulate_design(name, cycles=None, backend="interp"):
     return simulate(module, design.top, backend=backend)
 
 
+#: Pipeline stages a design can reach, shallowest to deepest.  The first
+#: three are transformation stages (every design passes them by
+#: construction — they preserve semantics on any input); ``lower``
+#: requires every design process to reach the structural level, and
+#: ``netlist`` additionally requires the technology mapper to map every
+#: lowered entity onto library cells.
+STAGES = ("behavioural", "cleanup", "prepare", "lower", "netlist")
+
+
+def stage_reach(name, cycles=4):
+    """Which pipeline stages ``name`` reaches.
+
+    Returns ``(stages, rejections)``: a dict ``stage -> bool`` over
+    :data:`STAGES` and the design-process rejection list (empty when the
+    design lowers completely).
+    """
+    from ..interop import netlist_design
+    from ..interop.techmap import TechmapError
+    from ..passes.pipeline import lower_to_structural
+
+    module = compile_design(name, cycles=cycles)
+    report = lower_to_structural(module, strict=False, verify=False)
+    rejections = report.design_rejections()
+    reach = {"behavioural": True, "cleanup": True, "prepare": True,
+             "lower": not rejections, "netlist": False}
+    if not rejections:
+        try:
+            netlist_design(module)
+        except TechmapError:
+            pass
+        else:
+            reach["netlist"] = True
+    return reach, rejections
+
+
+def deepest_level(name, cycles=4):
+    """The deepest pipeline stage ``name`` reaches (see :data:`STAGES`)."""
+    reach, _ = stage_reach(name, cycles=cycles)
+    return [s for s in STAGES if reach[s]][-1]
+
+
 __all__ = ["ALL_DESIGNS", "DESIGNS", "Design", "FOUR_STATE_ORDER",
-           "NETLIST_DESIGNS", "TABLE2_ORDER", "base_design_name",
-           "compile_design", "expand_cycle_budgets", "simulate_design"]
+           "NETLIST_DESIGNS", "STAGES", "TABLE2_ORDER",
+           "base_design_name", "compile_design", "deepest_level",
+           "expand_cycle_budgets", "simulate_design", "stage_reach"]

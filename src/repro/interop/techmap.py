@@ -38,9 +38,29 @@ from ..ir.dialects import (
 )
 from ..ir.instructions import Instruction
 from ..ir.ninevalued import LogicVec
-from ..ir.types import int_type, signal_type
+from ..ir.types import int_type, logic_type, signal_type
 from ..ir.units import Entity, Module, UnitDecl
 from ..ir.values import TimeValue
+
+#: Bitwise nine-valued gates wider than this decompose pairwise: the
+#: cell body instantiates a *pair* of half-width gate cells on the low
+#: and high slices (a slice of the packed planes is the planes of the
+#: slice, so the split is exact) instead of modelling one monolithic
+#: ``lN`` operator per width.  Narrow widths stay monolithic; the halves
+#: are shared across every wide width that reaches them.
+#:
+#: The trade-off is real: sharing shrinks the library (a few narrow
+#: cells instead of one model per width — what a liberty file wants),
+#: but every internal wiring net multiplies *events* when the netlist
+#: is simulated — a hot ``l256`` gate costs ~14x more under the
+#: event-driven kernels once composed.  ``technology_map`` therefore
+#: takes ``pairwise_gates``: on by default for the library-oriented
+#: mapping flow, switched off by :func:`netlist_design` (the
+#: simulation-oriented wrapper the staged harness and the benchmarks
+#: use).
+PAIRWISE_FLOOR = 8
+
+_LN_PAIRWISE = frozenset({"and", "or", "xor", "not"})
 
 
 class TechmapError(Exception):
@@ -67,7 +87,8 @@ def _type_key(ty):
         .replace("$", "")
 
 
-def technology_map(module, gate_delay="100ps", keep_behavioural=False):
+def technology_map(module, gate_delay="100ps", keep_behavioural=False,
+                   pairwise_gates=True):
     """Map a Structural LLHD module into Netlist LLHD.
 
     Returns ``(netlist, library)``: the netlist module (cells appear as
@@ -97,7 +118,8 @@ def technology_map(module, gate_delay="100ps", keep_behavioural=False):
                 "input is not Structural LLHD:\n  " + "\n  ".join(issues))
     out = Module(module.name + "_netlist")
     library_module = Module(module.name + "_cells")
-    library = {"__module__": library_module, "__out__": out}
+    library = {"__module__": library_module, "__out__": out,
+               "__pairwise__": pairwise_gates}
     for unit in entities:
         _map_entity(unit, out, library, TimeValue.parse(gate_delay))
     # Check the level contract before consuming the input: on failure the
@@ -117,19 +139,24 @@ def technology_map(module, gate_delay="100ps", keep_behavioural=False):
 _STRUCTURAL_OK = STRUCTURAL_OPCODES
 
 
-def netlist_design(module, gate_delay="0s", name=None):
+def netlist_design(module, gate_delay="0s", name=None,
+                   pairwise_gates=False):
     """Techmap ``module`` (lowered, testbench processes allowed) and link
     the netlist with its cell library into one simulatable module.
 
     The default zero gate delay keeps the netlist trace-identical to the
     structural module it was mapped from: every cell drive lands in the
     same femtosecond, only delta steps differ — which traces collapse.
-    Consumes ``module`` (its processes move into the netlist).
+    Pairwise-composed wide gates default *off* here: this is the
+    simulation-oriented flow, and composed cells multiply events (see
+    :data:`PAIRWISE_FLOOR`).  Consumes ``module`` (its processes move
+    into the netlist).
     """
     from ..ir.linker import link_modules
 
     netlist, library = technology_map(
-        module, gate_delay=gate_delay, keep_behavioural=True)
+        module, gate_delay=gate_delay, keep_behavioural=True,
+        pairwise_gates=pairwise_gates)
     return link_modules([netlist, library],
                         name=name or module.name + "_nl")
 
@@ -161,6 +188,12 @@ def _cell(out, library, opcode, in_types, out_ty, delay, attrs=()):
     port_names = [f"a{i}" for i in range(len(in_types))]
     cell = Entity(name, [signal_type(t) for t in in_types], port_names,
                   [signal_type(out_ty)], ["y"])
+    if opcode in _LN_PAIRWISE and out_ty.is_logic \
+            and out_ty.width > PAIRWISE_FLOOR \
+            and library.get("__pairwise__", True):
+        _build_pairwise_gate(out, library, cell, opcode, out_ty, delay)
+        library[key] = _declare(out, library, cell)
+        return library[key]
     b = Builder.at_end(cell.body)
     ins = [b.prb(a) for a in cell.inputs]
     d = b.const_time(delay)
@@ -175,13 +208,16 @@ def _cell(out, library, opcode, in_types, out_ty, delay, attrs=()):
     elif opcode in _CAST_OPS:
         result = getattr(b, opcode)(ins[0], out_ty)
     elif opcode == "mux":
-        arr = b.array([ins[0], ins[1]])
-        result = b.mux(arr, ins[2])
+        arr = b.array(ins[:-1])
+        result = b.mux(arr, ins[-1])
     elif opcode == "buf":
         result = ins[0]
     elif opcode in ("shl", "shr"):
-        amt = b.const_int(int_type(32), attrs[0])
-        result = b.binary(opcode, ins[0], amt)
+        if attrs:  # static shift: the amount is folded into the cell
+            amt = b.const_int(int_type(32), attrs[0])
+            result = b.binary(opcode, ins[0], amt)
+        else:      # barrel shifter: the amount is a second input
+            result = b.binary(opcode, ins[0], ins[1])
     elif opcode == "exts":
         result = b.exts(ins[0], attrs[0], attrs[1])
     elif opcode == "extf":
@@ -189,11 +225,55 @@ def _cell(out, library, opcode, in_types, out_ty, delay, attrs=()):
             result = b.extf(ins[0], attrs[0])
         else:
             result = b.extf(ins[0], ins[1])
+    elif opcode == "inss":
+        result = b.inss(ins[0], ins[1], attrs[0], attrs[1])
+    elif opcode == "insf":
+        if attrs:
+            result = b.insf(ins[0], ins[1], attrs[0])
+        else:
+            result = b.insf(ins[0], ins[1], ins[2])
     else:
         raise TechmapError(f"no cell recipe for '{opcode}'")
     b.drv(cell.outputs[0], result, d)
     library[key] = _declare(out, library, cell)
     return library[key]
+
+
+def _build_pairwise_gate(out, library, cell, opcode, out_ty, delay):
+    """Fill a wide ``lN`` gate cell with a pair of half-width gate cell
+    instances over the low/high slices of every operand.
+
+    The halves recurse down to :data:`PAIRWISE_FLOOR`-wide monolithic
+    gates, so all wide bitwise gates share one small set of narrow cells
+    instead of the library growing a distinct model per width.  The
+    internal wiring drives are zero-delay; the gate delay lives in the
+    leaf cells.
+    """
+    width = out_ty.width
+    lo_w = width // 2
+    hi_w = width - lo_w
+    halves = [
+        _cell(out, library, opcode,
+              [logic_type(w)] * len(cell.inputs), logic_type(w), delay)
+        for w in (lo_w, hi_w)]
+    b = Builder.at_end(cell.body)
+    ins = [b.prb(a) for a in cell.inputs]
+    zero = b.const_time(TimeValue(0))
+    results = []
+    for (half, w, off) in zip(halves, (lo_w, hi_w), (0, lo_w)):
+        part_sigs = []
+        for value in ins:
+            part = b.exts(value, off, w)
+            net = b.sig(b.const_logic(LogicVec.from_int(0, w)))
+            b.drv(net, part, zero)
+            part_sigs.append(net)
+        result = b.sig(b.const_logic(LogicVec.from_int(0, w)))
+        b.inst(half, part_sigs, [result])
+        results.append(b.prb(result))
+    whole = b.const_logic(LogicVec.from_int(0, width))
+    whole = b.inss(whole, results[0], 0, lo_w)
+    whole = b.inss(whole, results[1], lo_w, hi_w)
+    b.drv(cell.outputs[0], whole, zero)
 
 
 def _projection_steps(value):
@@ -360,6 +440,8 @@ def _map_entity(entity, out, library, delay):
                 ctx.materialize_time(inst.operands[1]))
         elif op == "mux":
             signal_of[id(inst)] = ctx.map_mux(inst)
+        elif op in ("inss", "insf"):
+            signal_of[id(inst)] = ctx.map_insert(inst)
         elif op in ("shl", "shr"):
             signal_of[id(inst)] = ctx.map_shift(inst)
         elif op in _MAPPABLE:
@@ -546,22 +628,52 @@ class _MapContext:
     def map_mux(self, inst):
         arr = inst.operands[0]
         if not isinstance(arr, Instruction) or arr.opcode != "array" \
-                or arr.attrs.get("splat") or len(arr.operands) != 2:
-            raise TechmapError("only 2-way muxes map to the library")
-        a, b_val = arr.operands
+                or arr.attrs.get("splat"):
+            raise TechmapError(
+                "mux choices must be an explicit array to map")
+        choices = list(arr.operands)
         sel = inst.operands[1]
-        sigs = [self.materialize(a), self.materialize(b_val),
-                self.materialize(sel)]
+        sigs = [self.materialize(c) for c in choices] \
+            + [self.materialize(sel)]
+        # Typed N-way mux cell: one cell per (way count, choice/selector
+        # types); a 2-way mux keeps its classic shape, wider selections
+        # map to a single N-way cell instead of a 2-way tower.
         cell = _cell(self.out, self.library, "mux",
-                     [a.type, b_val.type, sel.type], inst.type, self.delay)
+                     [c.type for c in choices] + [sel.type], inst.type,
+                     self.delay)
+        return self._instantiate(cell, sigs, inst)
+
+    def map_insert(self, inst):
+        """Slice/element insertion (``inss``/``insf``) as a wiring cell:
+        the mux-insertion pass uses these to turn partial drives into
+        whole-signal drives, and in hardware they are pure wiring."""
+        op = inst.opcode
+        operands = [inst.operands[0], inst.operands[1]]
+        if op == "inss":
+            attrs = (inst.attrs["offset"], inst.attrs["length"])
+        else:
+            index = inst.attrs.get("index")
+            if index is None:
+                operands.append(inst.operands[2])
+                attrs = ()
+            else:
+                attrs = (index,)
+        sigs = [self.materialize(o) for o in operands]
+        cell = _cell(self.out, self.library, op,
+                     [o.type for o in operands], inst.type, self.delay,
+                     attrs=attrs)
         return self._instantiate(cell, sigs, inst)
 
     def map_shift(self, inst):
         amount_const = self.consts.get(id(inst.operands[1]))
         if amount_const is None:
-            raise TechmapError(
-                f"@{self.entity.name}: '{inst.opcode}' by a non-constant "
-                f"amount has no library mapping")
+            # Barrel shifter: a two-input cell keyed by value and amount
+            # types, like any other binary operator.
+            value, amount = inst.operands[:2]
+            sigs = [self.materialize(value), self.materialize(amount)]
+            cell = _cell(self.out, self.library, inst.opcode,
+                         [value.type, amount.type], inst.type, self.delay)
+            return self._instantiate(cell, sigs, inst)
         amount = amount_const.attrs["value"]
         if isinstance(amount, LogicVec):
             if not amount.is_two_valued:

@@ -20,7 +20,7 @@ from .manager import (
 )
 from . import (
     cf, clone, cse, dce, deseq, dnf, ecm, inline, inline_entities,
-    instsimplify, mem2reg, process_lowering, tcfe, tcm, unroll,
+    instsimplify, mem2reg, muxinsert, process_lowering, tcfe, tcm, unroll,
 )
 from .inline import InlineError, inline_calls
 from .inline_entities import (
@@ -39,7 +39,8 @@ __all__ = [
     "PassNode", "PassRecord", "UnitPass", "cf", "cleanup", "clone", "cse",
     "dce", "deseq", "dnf", "ecm", "format_statistics", "forward_signals",
     "inline", "inline_calls", "inline_entities", "inline_entity_insts",
-    "instsimplify", "lower_to_structural", "mem2reg", "parse_pipeline",
-    "process_lowering", "register_pass", "register_pipeline",
+    "instsimplify", "lower_to_structural", "mem2reg", "muxinsert",
+    "parse_pipeline", "process_lowering", "register_pass",
+    "register_pipeline",
     "simplify_reg_feedback", "tcfe", "tcm", "unroll",
 ]

@@ -44,6 +44,33 @@ def clone_blocks_into(unit, blocks, value_map, name_suffix=""):
     return new_blocks
 
 
+def materialize_constant(value, ty, emit):
+    """Build a constant instruction (tree) for a runtime ``value``.
+
+    Aggregate values (tuples) become ``array``/``struct`` trees of
+    element constants — the same shape ``sig`` initializers use; scalar
+    ``iN`` values are masked to their width.  Every created instruction
+    is passed through ``emit`` (which must insert or stage it, and
+    return it).  Raises ValueError for an aggregate whose type is
+    neither array nor struct.  Shared by desequentialization (cloning
+    specialized drive values into an entity) and the loop unroller
+    (staging per-iteration constants into the preheader).
+    """
+    if isinstance(value, tuple):
+        if ty.is_array:
+            parts = [materialize_constant(v, ty.element, emit)
+                     for v in value]
+            return emit(Instruction("array", ty, parts))
+        if ty.is_struct:
+            parts = [materialize_constant(v, fty, emit)
+                     for v, fty in zip(value, ty.fields)]
+            return emit(Instruction("struct", ty, parts))
+        raise ValueError(f"cannot materialize aggregate constant of {ty}")
+    if ty.is_int:
+        value &= (1 << ty.width) - 1
+    return emit(Instruction("const", ty, (), {"value": value}))
+
+
 def clone_dfg_into(values, builder, value_map, on_clone=None):
     """Clone the transitive data-flow graph of ``values`` via ``builder``.
 

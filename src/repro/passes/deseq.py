@@ -482,16 +482,12 @@ def _short_circuit(value, operands, subst, builder, value_map, b0, memo):
 
 
 def _materialize(const_value, ty, builder):
-    from ..ir.ninevalued import LogicVec
-    from ..ir.values import TimeValue
+    from .clone import materialize_constant
 
-    if isinstance(const_value, TimeValue):
-        return builder.const_time(const_value)
-    if isinstance(const_value, LogicVec):
-        return builder.const_logic(const_value)
-    if isinstance(const_value, tuple):
-        raise DeseqError("aggregate constants cannot be materialized")
-    return builder.const_int(ty, const_value)
+    try:
+        return materialize_constant(const_value, ty, builder.insert)
+    except ValueError as error:
+        raise DeseqError(str(error)) from None
 
 
 def run(module, am=None, reasons=None):

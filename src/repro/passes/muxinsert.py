@@ -1,0 +1,333 @@
+"""Mux insertion — conditional and partial drives become plain drives.
+
+The technology mapper (:mod:`repro.interop.techmap`) maps *unconditional
+whole-signal* drives: a zero-delay drive is a ``con`` net merge, a
+delayed one a ``del`` node.  Structural entities produced by TCM/PL and
+Deseq may still carry
+
+* **conditional drives** — ``drv %s, %v if %c`` holds the previous value
+  while ``%c`` is low (latch-style semantics on a single-driver net), and
+* **partial drives** — ``drv`` of an ``exts``/``extf`` projection of a
+  signal, updating only a slice or element.
+
+This pass rewrites both into unconditional drives of the whole signal by
+inserting multiplexers (the classic mux-insertion step of synthesis):
+the driven value becomes ``mux([prb %s, %v], %c)`` — the signal feeds
+back its own present value when the condition is low — and a partial
+drive re-inserts the driven slice into the probed whole value
+(``inss``/``insf``).  Only *exclusively-driven* signals are rewritten:
+with several drivers the rewrite would turn "at most one driver
+active" into permanent multi-driver resolution.  Exclusivity is
+checked beyond the entity: a drive of an output argument is only
+rewritten when every instantiation of the entity in the enclosing
+module binds that port to a net with no other drivers (another
+instance's output, a ``drv``, ``reg``, or ``con`` in the parent, or a
+net escaping through the parent's own ports all block the rewrite).
+
+As a second step, left-nested priority mux chains (the shape TCM's drive
+coalescing and Deseq's value specialization produce —
+``mux([mux([mux([v0,v1],c1),v2],c2),v3],c3)``) are flattened into a
+single **N-way mux** over all the choices, selected by a narrow priority
+index: the wide datapath then goes through one N-way mux cell instead of
+a tower of 2-way cells, and the priority encoding runs on an index a few
+bits wide.  Only two-valued (``i1``) selectors are flattened: an ``lN``
+selector with an ``X`` is a runtime error the rewrite must not displace.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import Builder
+from ..ir.instructions import Instruction
+from ..ir.types import int_type
+from ..ir.values import TimeValue
+from .manager import PRESERVE_ALL, UnitPass, register_pass
+
+#: Flatten priority chains of at least this many 2-way muxes (the result
+#: is a mux with one more choice than the chain has muxes).
+MIN_CHAIN = 3
+
+
+def run(unit):
+    """Run mux insertion on one entity; returns True if it changed."""
+    return MuxInsertPass().run_on_unit(unit, None)
+
+
+@register_pass
+class MuxInsertPass(UnitPass):
+    """Rewrite conditional/partial drives into unconditional N-way mux
+    drives so the technology mapper can map them.
+
+    Only inserts and replaces instructions inside one entity body — the
+    (trivial) CFG and all cached analyses survive.
+    """
+
+    name = "muxinsert"
+    applies_to = ("entity",)
+    preserves = PRESERVE_ALL
+
+    def run_on_unit(self, unit, am):
+        if not unit.is_entity:
+            return False
+        changed = False
+        for kind, count in _rewrite_drives(unit).items():
+            if count:
+                self.stat(kind, count)
+                changed = True
+        flattened = _flatten_priority_chains(unit)
+        if flattened:
+            self.stat("nway", flattened)
+            changed = True
+        return changed
+
+
+# -- conditional and partial drives -------------------------------------------
+
+
+def _root_signal(value):
+    """Walk ``exts``/``extf`` projections back to the projected signal."""
+    steps = []
+    while isinstance(value, Instruction) and value.opcode in ("extf",
+                                                              "exts"):
+        steps.append(value)
+        value = value.operands[0]
+    if value.type.is_signal:
+        return value, list(reversed(steps))
+    return None, None
+
+
+def _rewrite_drives(unit):
+    counts = {"conditional": 0, "partial": 0}
+    drives = {}
+    for inst in unit.body:
+        if inst.opcode == "drv":
+            root, steps = _root_signal(inst.drv_signal())
+            if root is not None:
+                drives.setdefault(id(root), []).append((inst, root, steps))
+    for group in drives.values():
+        if len(group) != 1:
+            continue  # several drivers: resolution, not priority — leave
+        drv, root, steps = group[0]
+        cond = drv.drv_condition()
+        if cond is None and not steps:
+            continue
+        if not _zero_delay(drv.drv_delay()):
+            # A delayed conditional drive interacts with the driver's
+            # pending timeline (a feedback re-drive truncates scheduled
+            # transitions the original would have left alone) — leave
+            # those to explicit modelling.
+            continue
+        if not _exclusive_driver(unit, root, drv):
+            continue  # the net may have drivers beyond this entity
+        builder = Builder.before(drv)
+        old = builder.prb(root)
+        value = drv.drv_value()
+        if steps:
+            value = _insert_projection(builder, old, steps, value)
+            counts["partial"] += 1
+        if cond is not None:
+            choices = builder.array([old, value])
+            value = builder.mux(choices, cond)
+            counts["conditional"] += 1
+        builder.drv(root, value, drv.drv_delay())
+        drv.erase()
+    return counts
+
+
+def _zero_delay(delay):
+    return (isinstance(delay, Instruction) and delay.opcode == "const"
+            and delay.attrs["value"] == TimeValue(0))
+
+
+def _drives_net(use, keep=None):
+    """True when this use of a net is a *driver* (or net merge) other
+    than ``keep`` — a drv target, a con, a reg target, or a binding to
+    an instance output port."""
+    user = use.user
+    if user is keep:
+        return False
+    op = user.opcode
+    if op == "drv" or op == "reg":
+        return use.index == 0
+    if op == "con":
+        return True
+    if op == "inst":
+        return use.index >= user.attrs["num_inputs"]
+    return False
+
+
+def _output_port_index(unit, arg):
+    for index, out in enumerate(unit.outputs):
+        if out is arg:
+            return index
+    return None
+
+
+def _exclusive_driver(unit, root, drv):
+    """True when ``drv`` is provably the only driver of ``root``'s net.
+
+    A local ``sig`` qualifies unless something else in this entity
+    drives or merges it.  An output argument additionally requires a
+    look at every instantiation of this entity in the module: the bound
+    parent net must have no other drivers — following ports
+    transitively when a parent forwards the net through its own output
+    (the Moore wrapper-entity pattern).  Without a module (a standalone
+    entity under test) the argument case is accepted — there are no
+    instantiations to conflict.
+    """
+    if any(_drives_net(use, keep=drv) for use in root.uses):
+        return False
+    if isinstance(root, Instruction):  # a local sig
+        return True
+    port = _output_port_index(unit, root)
+    if port is None:
+        return False  # an *input* argument: its net lives elsewhere
+    module = getattr(unit, "module", None)
+    if module is None:
+        return True
+    seen = set()
+    work = [(unit, port)]
+    while work:
+        entity, p = work.pop()
+        if (id(entity), p) in seen:
+            continue
+        seen.add((id(entity), p))
+        for other in module:
+            for inst in getattr(other, "instructions", lambda: ())():
+                if inst.opcode != "inst" or inst.callee != entity.name:
+                    continue
+                net = inst.inst_outputs()[p]
+                self_index = inst.attrs["num_inputs"] + p
+                for use in net.uses:
+                    if use.user is inst and use.index == self_index:
+                        continue  # the binding under scrutiny itself
+                    if _drives_net(use):
+                        return False
+                if isinstance(net, Instruction):
+                    continue  # a local sig of the parent, fully checked
+                outer = _output_port_index(other, net)
+                if outer is None:
+                    return False  # enters through an input port: opaque
+                work.append((other, outer))
+    return True
+
+
+def _insert_projection(builder, whole, steps, value):
+    """Re-insert ``value`` at the projection described by ``steps``
+    (outermost first) into the probed ``whole`` value."""
+    step = steps[0]
+    if step.opcode == "exts":
+        offset, length = step.attrs["offset"], step.attrs["length"]
+        inner = builder.exts(whole, offset, length)
+        if len(steps) > 1:
+            value = _insert_projection(builder, inner, steps[1:], value)
+        return builder.inss(whole, value, offset, length)
+    index = step.attrs.get("index")
+    if index is None:
+        index = step.operands[1]
+    inner = builder.extf(whole, index)
+    if len(steps) > 1:
+        value = _insert_projection(builder, inner, steps[1:], value)
+    return builder.insf(whole, value, index)
+
+
+# -- N-way mux formation -------------------------------------------------------
+
+
+#: Attribute marking a mux this pass generated for a priority *index*;
+#: such muxes are themselves left-nested 2-way chains and must never be
+#: collected for flattening again, or the pass would re-flatten its own
+#: output forever.  (The attribute is internal bookkeeping: the printer
+#: does not emit it, so a round-tripped module merely re-flattens once.)
+_INDEX_MARK = "muxinsert_index"
+
+
+def _is_two_way(inst):
+    if not isinstance(inst, Instruction) or inst.opcode != "mux" \
+            or inst.attrs.get(_INDEX_MARK):
+        return False
+    array = inst.operands[0]
+    if not isinstance(array, Instruction) or array.opcode != "array" \
+            or array.attrs.get("splat") or len(array.operands) != 2:
+        return False
+    sel = inst.operands[1]
+    return sel.type.is_int and sel.type.width == 1
+
+
+def _flatten_priority_chains(unit):
+    flattened = 0
+    # Heads: 2-way muxes not themselves the fallback arm of another.
+    for inst in list(unit.body):
+        if not _is_two_way(inst):
+            continue
+        if _chain_parent(inst) is not None:
+            continue  # interior link; handled from its head
+        chain = _collect_chain(inst)
+        if len(chain) < MIN_CHAIN:
+            continue
+        _build_nway(unit, inst, chain)
+        flattened += 1
+    return flattened
+
+
+def _chain_parent(mux):
+    """The 2-way mux using ``mux`` as its priority fallback, if any."""
+    uses = list(mux.uses)
+    if len(uses) != 1:
+        return None
+    array = uses[0].user
+    if not isinstance(array, Instruction) or array.opcode != "array" \
+            or uses[0].index != 0:
+        return None
+    array_uses = list(array.uses)
+    if len(array_uses) != 1:
+        return None
+    parent = array_uses[0].user
+    if _is_two_way(parent) and parent.operands[0] is array:
+        return parent
+    return None
+
+
+def _collect_chain(head):
+    """Walk the fallback arms down from ``head``; returns the chain from
+    the bottom mux up to ``head`` (each a 2-way mux)."""
+    chain = [head]
+    current = head
+    while True:
+        fallback = current.operands[0].operands[0]
+        if not _is_two_way(fallback) or _chain_parent(fallback) is not current:
+            break
+        chain.append(fallback)
+        current = fallback
+    chain.reverse()
+    return chain
+
+
+def _build_nway(unit, head, chain):
+    """Replace the chain with one N-way mux and a priority index."""
+    bottom = chain[0]
+    choices = [bottom.operands[0].operands[0]]
+    conds = []
+    for mux in chain:
+        choices.append(mux.operands[0].operands[1])
+        conds.append(mux.operands[1])
+    bits = max(1, (len(choices) - 1).bit_length())
+    ty = int_type(bits)
+    # Insert at the head: every choice and condition of the chain is
+    # defined at or above its mux, hence above the head.
+    builder = Builder.before(head)
+    index = builder.const_int(ty, 0)
+    consts = [builder.const_int(ty, i + 1) for i in range(len(conds))]
+    for value, cond in zip(consts, conds):
+        pair = builder.array([index, value])
+        index = builder.mux(pair, cond)
+        index.attrs[_INDEX_MARK] = True
+    array = builder.array(choices)
+    nway = builder.mux(array, index, name=head.name)
+    head.replace_all_uses_with(nway)
+    # The old chain is dead; DCE would get it, but erase it here so the
+    # pass leaves a clean body even when run standalone.
+    for mux in reversed(chain):
+        array_inst = mux.operands[0]
+        mux.erase()
+        if not array_inst.uses:
+            array_inst.erase()

@@ -22,6 +22,8 @@ statistics into ``LoweringReport.pass_records``.
 
 from __future__ import annotations
 
+import re
+
 from ..ir.dialects import STRUCTURAL
 from ..ir.verifier import verify_module
 from . import deseq, process_lowering
@@ -36,11 +38,16 @@ CLEANUP_SPEC = register_pipeline(
 
 #: §4.1–§4.4 on one process, mirroring the paper's Figure 4 ordering.
 #: TCM/TCFE may expose more hoisting/threading opportunities, hence the
-#: trailing ecm,tcfe round.
+#: trailing ecm,tcfe round.  Unroll runs twice: early for the classic
+#: constant fold, and again after TCFE — once the loop-internal
+#: conditionals have been if-converted into muxes, the loop-carried data
+#: is straight-line and the symbolic executor can unroll scan loops whose
+#: bodies read runtime signals (lzc/rr_arbiter/riscv-style cores).
 PREPARE_SPEC = register_pipeline(
     "prepare",
     "inline,unroll,mem2reg,cleanup,"
-    "ecm,cleanup,tcm,cleanup,tcfe,cleanup,ecm,tcfe,cleanup")
+    "ecm,cleanup,tcm,cleanup,tcfe,cleanup,ecm,tcfe,cleanup,"
+    "unroll,cleanup,tcfe,cleanup")
 
 
 class LoweringRejection(Exception):
@@ -53,7 +60,20 @@ class LoweringRejection(Exception):
 
 
 class LoweringReport:
-    """What the pipeline did: per-process outcome and statistics."""
+    """What the pipeline did: per-process outcome and statistics.
+
+    ``rejected`` lists every process left behavioural as ``(name,
+    reason)``; :meth:`design_rejections` filters out testbench processes
+    (``initial`` blocks, which model physical time by construction), so
+    a harness asserting "the design core reaches the structural level"
+    can distinguish the two precisely instead of string-matching ad hoc.
+    """
+
+    #: The Moore frontend names processes ``<module>_<kind>_<n>``, and
+    #: only ``initial`` blocks are testbench-only constructs — match the
+    #: kind token precisely, so a *module* merely named "initial…" is
+    #: still accounted as a design.
+    TESTBENCH_PATTERN = re.compile(r"_initial_\d+$")
 
     def __init__(self):
         self.lowered_by_pl = []
@@ -63,6 +83,24 @@ class LoweringReport:
         self.rejected = []
         self.pass_records = []   # per-pass PassRecord instrumentation
         self.analysis_stats = {}  # AnalysisManager hit/miss counters
+
+    @classmethod
+    def is_testbench(cls, unit_name):
+        return cls.TESTBENCH_PATTERN.search(unit_name) is not None
+
+    def design_rejections(self):
+        """Rejections of *design* processes (testbenches excluded)."""
+        return [(name, reason) for name, reason in self.rejected
+                if not self.is_testbench(name)]
+
+    def testbench_rejections(self):
+        return [(name, reason) for name, reason in self.rejected
+                if self.is_testbench(name)]
+
+    @property
+    def fully_lowered(self):
+        """True when every design process reached the structural level."""
+        return not self.design_rejections()
 
     def __repr__(self):
         return (f"<LoweringReport pl={self.lowered_by_pl} "
@@ -146,7 +184,12 @@ def lower_to_structural(module, strict=True, verify=True, pm=None):
             raise LoweringRejection(
                 func.name, "function still referenced after inlining")
 
+    # Mux insertion: conditional/partial drives that survived into the
+    # lowered entities become unconditional (N-way) mux drives, the form
+    # the technology mapper maps; cleanup then folds what the rewrite
+    # exposed.
     for entity in module.entities():
+        pm.run_spec("muxinsert", entity)
         pm.run_spec(CLEANUP_SPEC, entity)
 
     # Non-strict runs with rejections leave behavioural processes in the
@@ -197,6 +240,7 @@ def _prepare_process(proc, module=None, pm=None):
 
 def _rejection_reason(proc, am=None):
     from ..analysis.temporal import TemporalRegions
+    from . import unroll
 
     for inst in proc.instructions():
         if inst.opcode in ("var", "ld", "st", "alloc", "free"):
@@ -208,6 +252,9 @@ def _rejection_reason(proc, am=None):
             return "process halts — testbench code is not synthesizable"
         if inst.opcode == "wait" and inst.wait_time() is not None:
             return "wait with a timeout models physical time, not hardware"
+    loop_reasons = unroll.failure_reasons(proc)
+    if loop_reasons:
+        return "unroll: " + "; ".join(loop_reasons)
     regions = am.get("temporal", proc) if am is not None \
         else TemporalRegions(proc)
     trs = regions.count

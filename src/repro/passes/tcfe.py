@@ -10,6 +10,13 @@ TCM most blocks are empty; TCFE
 until (for the canonical HDL forms) one block per temporal region remains:
 combinational processes end with a single block/TR, sequential processes
 with two (section 4.4).
+
+If-conversion is *speculative*: a side block whose instructions are pure
+and total (no division, no possibly-unknown ``mux`` selector or shift
+amount, no dynamic aggregate index — anything that could raise at
+runtime on the not-taken path) is hoisted into the branching block and
+then converted.  This is what collapses ``case`` cascades — chains of
+triangles whose arms compute values — into nested muxes.
 """
 
 from __future__ import annotations
@@ -18,6 +25,30 @@ from ..analysis.cfg import rebuild_phi, remove_unreachable_blocks
 from ..ir.builder import Builder
 from ..ir.values import Block
 from .manager import UnitPass, register_pass
+
+#: Cap on instructions hoisted out of one side block per conversion;
+#: conversions accumulate code up a cascade, so this bounds the growth.
+SPECULATE_LIMIT = 256
+
+_DIV_OPS = frozenset({"udiv", "sdiv", "umod", "smod", "urem", "srem"})
+
+
+def _speculatable(inst):
+    """Safe to execute on a path that would not have run it: pure and
+    incapable of raising a runtime error on any operand values."""
+    if not inst.is_pure:
+        return False
+    op = inst.opcode
+    if op in _DIV_OPS:
+        return False  # division by zero
+    if op == "mux" and inst.operands[1].type.is_logic:
+        return False  # an X selector is a runtime error
+    if op in ("shl", "shr") and not inst.operands[0].type.is_logic \
+            and inst.operands[1].type.is_logic:
+        return False  # unknown shift amount on an integer is an error
+    if op in ("extf", "insf") and inst.has_dynamic_index:
+        return False  # dynamic index may be out of range
+    return True
 
 
 def run(unit):
@@ -133,13 +164,32 @@ def _if_convert(unit):
 
 
 def _only_branch_to(block, join):
-    """True if block has a single pred, no instructions except `br join`."""
-    return (len(block.instructions) == 1
-            and block.terminator is not None
-            and block.terminator.opcode == "br"
-            and not block.terminator.is_conditional_branch
-            and block.successors() == [join]
-            and len(block.predecessors()) == 1)
+    """True if ``block`` is a convertible side block of a diamond or
+    triangle toward ``join``: a single predecessor, an unconditional
+    ``br join``, no phis, and a body of speculatable instructions (they
+    will be hoisted into the branching block by the conversion)."""
+    term = block.terminator
+    if term is None or term.opcode != "br" or term.is_conditional_branch:
+        return False
+    if block.successors() != [join] or len(block.predecessors()) != 1:
+        return False
+    if block.phis():
+        return False
+    body = [i for i in block.instructions if i is not term]
+    if len(body) > SPECULATE_LIMIT:
+        return False
+    return all(_speculatable(i) for i in body)
+
+
+def _hoist_side(block, side):
+    """Move ``side``'s body (all but the terminator) into ``block``,
+    before its terminator — speculation, guarded by ``_speculatable``."""
+    index = block.index_of(block.terminator)
+    for inst in [i for i in side.instructions
+                 if i is not side.terminator]:
+        side.remove(inst)
+        block.insert(index, inst)
+        index += 1
 
 
 def _diamond_join(block, dest_false, dest_true):
@@ -163,6 +213,8 @@ def _triangle_join(block, dest_false, dest_true):
 
 
 def _convert_diamond(unit, block, cond, dest_false, dest_true, join):
+    _hoist_side(block, dest_false)
+    _hoist_side(block, dest_true)
     builder = Builder.before(block.terminator)
     for phi in join.phis():
         v_false = v_true = None
@@ -185,6 +237,7 @@ def _convert_diamond(unit, block, cond, dest_false, dest_true, join):
 
 
 def _convert_triangle(unit, block, cond, through, join, through_is_true):
+    _hoist_side(block, through)
     builder = Builder.before(block.terminator)
     for phi in join.phis():
         v_block = v_through = None

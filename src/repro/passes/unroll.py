@@ -1,50 +1,98 @@
-"""Loop unrolling by compile-time evaluation — section 4.1.
+"""Loop unrolling by symbolic compile-time execution — section 4.1.
 
 "To facilitate later transformations, all function calls are inlined and
 loops are unrolled at this point.  Where this is not possible, the process
 is rejected."
 
-Counted loops with pure bodies and constant inputs (the form produced by
-inlined functions and elaborated ``for`` loops) are *folded*: the loop is
-executed at compile time with the simulator's evaluation function, and all
-values escaping the loop are replaced by constants.  Loops with side
-effects or non-constant bounds are left alone — the structural lowering
-pipeline rejects such processes, as the paper prescribes.
+Counted loops — the form produced by inlined functions and elaborated
+``for`` loops — are *symbolically executed* at compile time: every branch
+decision inside the loop must evaluate to a compile-time constant (the
+induction arithmetic is, by construction, a chain of constants), while
+values that depend on runtime data (probed signals, process arguments)
+are replicated per iteration as straight-line instructions in the
+preheader.  When every value turns out constant this degenerates to the
+classic fold: escaping values are replaced by constants and no code is
+emitted at all.
+
+The executor follows the concrete control-flow path, so multi-block loop
+bodies — including nested loops, as long as every branch condition stays
+compile-time computable — unroll exactly as they would execute.  ``lN``
+induction arithmetic works transparently: the evaluator is the
+simulator's own, so nine-valued counters fold as long as they stay
+two-valued (an ``X`` in a loop condition is a rejection, not a guess).
+
+Loops that cannot be unrolled (non-constant trip counts, side effects in
+the body, multiple entries) are left alone with a recorded reason — the
+structural lowering pipeline rejects such processes, as the paper
+prescribes, and reports the reason via :func:`failure_reasons`.
 """
 
 from __future__ import annotations
 
+from ..analysis.dominators import DominatorTree
 from ..ir.builder import Builder
 from ..ir.instructions import Instruction
+from ..ir.ninevalued import LogicVec
+from ..ir.values import TimeValue
 from ..sim.eval import evaluate
 from ..sim.values import SimulationError
 from .manager import UnitPass, register_pass
 
+#: Compile-time iteration bound: a loop "executing" longer than this at
+#: compile time is treated as non-terminating (likely a bug) and rejected.
 MAX_ITERATIONS = 100_000
 
+#: Cap on instructions one loop may expand into; beyond this the loop is
+#: rejected rather than exploding the unit.
+MAX_EMITTED = 65_536
 
-def run(unit):
-    """Fold all foldable single-block loops; returns number folded."""
+
+def run(unit, reasons=None):
+    """Unroll all unrollable loops; returns the number unrolled.
+
+    ``reasons`` optionally collects a human-readable reason per loop that
+    could *not* be unrolled (used by the lowering pipeline's rejection
+    report).
+    """
     if unit.is_entity:
         return 0
-    folded = 0
+    unrolled = 0
     progress = True
     while progress:
         progress = False
-        for block in list(unit.blocks):
-            if _fold_loop(unit, block):
-                folded += 1
+        for loop in _find_loops(unit):
+            ok, _reason = _try_unroll(unit, loop, commit=True)
+            if ok:
+                unrolled += 1
                 progress = True
-                break
-    return folded
+                break  # CFG changed; re-discover loops
+    if reasons is not None:
+        reasons.extend(failure_reasons(unit))
+    return unrolled
+
+
+def failure_reasons(unit):
+    """Why each remaining loop of ``unit`` cannot be unrolled.
+
+    Returns a list of strings, one per loop (empty when the unit has no
+    loops left).  Purely analytical — the unit is not modified.
+    """
+    out = []
+    if unit.is_entity:
+        return out
+    for loop in _find_loops(unit):
+        ok, reason = _try_unroll(unit, loop, commit=False)
+        if not ok:
+            out.append(f"loop at block '{loop.header.name}': {reason}")
+    return out
 
 
 @register_pass
 class UnrollPass(UnitPass):
-    """Fold counted loops by compile-time evaluation (§4.1).
+    """Unroll counted loops by symbolic compile-time execution (§4.1).
 
-    Folding a loop cuts its back edge — a CFG change, so nothing cached
-    survives.
+    Unrolling cuts back edges and deletes blocks — a CFG change, so
+    nothing cached survives.
     """
 
     name = "unroll"
@@ -52,89 +100,366 @@ class UnrollPass(UnitPass):
     preserves = frozenset()
 
     def run_on_unit(self, unit, am):
-        folded = run(unit)
-        if folded:
-            self.stat("folded", folded)
-        return bool(folded)
+        unrolled = run(unit)
+        if unrolled:
+            self.stat("unrolled", unrolled)
+        return bool(unrolled)
 
 
-def _fold_loop(unit, loop):
-    term = loop.terminator
-    if term is None or term.opcode != "br" or not term.is_conditional_branch:
-        return False
-    dest_false, dest_true = term.operands[1], term.operands[2]
-    if dest_true is loop and dest_false is not loop:
-        exit_block = dest_false
-        continue_on = True
-    elif dest_false is loop and dest_true is not loop:
-        exit_block = dest_true
-        continue_on = False
-    else:
-        return False
-    preds = [p for p in loop.predecessors() if p is not loop]
-    if len(preds) != 1:
-        return False
-    preheader = preds[0]
+# -- loop discovery ------------------------------------------------------------
 
-    phis = loop.phis()
-    body = [i for i in loop.instructions if i.opcode != "phi" and
-            i is not term]
-    # Pure body only; constant initial values only.
-    env = {}
-    for phi in phis:
-        init = phi.phi_value_for(preheader)
-        if not (isinstance(init, Instruction) and init.opcode == "const"):
-            return False
-        env[id(phi)] = init.attrs["value"]
-    for inst in body:
-        if not inst.is_pure:
-            return False
 
-    def value_of(operand):
-        if id(operand) in env:
-            return env[id(operand)]
-        if isinstance(operand, Instruction) and operand.opcode == "const":
-            return operand.attrs["value"]
-        raise KeyError
+class _Loop:
+    """A natural loop: header, member blocks, and its back-edge latches."""
 
-    # Compile-time execution.
-    iterations = 0
-    try:
-        while True:
-            iterations += 1
-            if iterations > MAX_ITERATIONS:
-                return False
-            for inst in body:
-                env[id(inst)] = evaluate(
-                    inst, [value_of(op) for op in inst.operands])
-            cond = value_of(term.branch_condition())
-            if bool(cond) != continue_on:
-                break
-            next_values = {}
-            for phi in phis:
-                next_values[id(phi)] = value_of(phi.phi_value_for(loop))
-            env.update(next_values)
-    except (KeyError, SimulationError):
-        return False
+    __slots__ = ("header", "blocks", "latches")
 
-    # Replace escaping values with constants in the preheader.
-    builder = Builder(preheader, len(preheader.instructions) - 1)
-    for inst in phis + body:
-        external = [u for u in list(inst.uses)
-                    if u.user.parent is not loop]
-        if not external:
+    def __init__(self, header, blocks, latches):
+        self.header = header
+        self.blocks = blocks      # dict id(block) -> block, header included
+        self.latches = latches
+
+
+def _find_loops(unit):
+    """Outermost natural loops of ``unit``, via dominance back edges.
+
+    Back edges to the same header merge into one loop; loops nested
+    inside another discovered loop are not reported separately (the
+    symbolic executor runs inner iterations as part of the outer walk).
+    """
+    domtree = DominatorTree(unit)
+    by_header = {}  # id(header) -> (header, latches); insertion-ordered
+    for block in unit.blocks:
+        term = block.terminator
+        # Only ``br`` back edges form candidate loops: a ``wait`` back
+        # edge is the process's own run-forever loop (a temporal-region
+        # boundary, not a counted loop).
+        if term is None or term.opcode != "br":
             continue
-        const = builder.insert(Instruction(
-            "const", inst.type, (), {"value": env[id(inst)]}, inst.name))
-        for use in external:
-            use.user.set_operand(use.index, const)
+        for succ in term.successors():
+            if id(succ) in domtree._rpo_index \
+                    and domtree.dominates(succ, block):
+                by_header.setdefault(id(succ), (succ, []))[1].append(block)
+    loops = []
+    for header, latches in by_header.values():
+        members = {id(header): header}
+        stack = list(latches)
+        while stack:
+            block = stack.pop()
+            if id(block) in members:
+                continue
+            members[id(block)] = block
+            stack.extend(block.predecessors())
+        loops.append(_Loop(header, members, latches))
+    # Keep only outermost loops: drop a loop whose header sits inside
+    # another loop's body.
+    outer = []
+    for loop in loops:
+        if not any(other is not loop and id(loop.header) in other.blocks
+                   for other in loops):
+            outer.append(loop)
+    return outer
 
-    # Cut the back edge; DCE will clean the remains.
-    from ..analysis.cfg import rebuild_phi
 
-    term.erase()
-    Builder.at_end(loop).br(exit_block)
-    for phi in list(loop.phis()):
-        pairs = [(v, b) for v, b in phi.phi_pairs() if b is not loop]
+# -- symbolic execution --------------------------------------------------------
+
+
+class _Reject(Exception):
+    """Internal: this loop cannot be unrolled (reason in args[0])."""
+
+
+def _try_unroll(unit, loop, commit):
+    """Symbolically execute ``loop``; on success (and ``commit``) replace
+    it with straight-line code in the preheader.
+
+    Returns ``(ok, reason)``; ``reason`` is None on success.  Without
+    ``commit`` the unit is never modified (dry run for diagnostics).
+    """
+    staged = []      # instructions to insert into the preheader, in order
+    try:
+        preheader = _single_preheader(unit, loop)
+        exec_state = _execute(unit, loop, preheader, staged)
+        if commit:
+            _commit(unit, loop, preheader, staged, exec_state)
+        return True, None
+    except _Reject as reject:
+        return False, reject.args[0]
+    finally:
+        if not commit or staged and staged[0].parent is None:
+            for inst in staged:
+                if inst.parent is None:
+                    inst.drop_operands()
+
+
+def _single_preheader(unit, loop):
+    """The unique outside predecessor of the header, entering by an
+    unconditional branch.
+
+    Loop *body* blocks cannot have outside predecessors: membership is
+    computed by walking predecessors from the latches, so any such
+    predecessor would itself be a member (side entries make a CFG
+    irreducible, and dominance-based back-edge detection never reports
+    irreducible cycles as loops in the first place).
+    """
+    outside = [p for p in loop.header.predecessors()
+               if id(p) not in loop.blocks]
+    if len(outside) != 1:
+        raise _Reject(
+            f"loop header has {len(outside)} outside predecessors "
+            f"(need exactly one preheader)")
+    preheader = outside[0]
+    term = preheader.terminator
+    if term is None or term.opcode != "br" or term.is_conditional_branch:
+        raise _Reject(
+            "loop is entered by a non-branch terminator "
+            f"('{term.opcode if term is not None else '?'}')")
+    return preheader
+
+
+class _ExecState:
+    __slots__ = ("env", "exit_block", "exit_pred")
+
+    def __init__(self, env, exit_block, exit_pred):
+        self.env = env
+        self.exit_block = exit_block
+        self.exit_pred = exit_pred
+
+
+def _execute(unit, loop, preheader, staged):
+    """Walk the loop's concrete control-flow path, filling ``staged``.
+
+    The environment maps ``id(value)`` to ``("c", concrete_value)`` for
+    compile-time constants or ``("v", ssa_value)`` for runtime values
+    (already staged or defined outside the loop).
+    """
+    env = {}
+    const_cache = {}
+
+    def resolve(value):
+        known = env.get(id(value))
+        if known is not None:
+            return known
+        if isinstance(value, Instruction) and value.opcode == "const":
+            return ("c", value.attrs["value"])
+        return ("v", value)  # defined outside the loop; still in scope
+
+    def materialize(result, ty):
+        if result[0] == "v":
+            return result[1]
+        return _materialize_const(result[1], ty, staged, const_cache)
+
+    current, prev = loop.header, preheader
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > MAX_ITERATIONS:
+            raise _Reject(
+                f"loop did not terminate within {MAX_ITERATIONS} "
+                f"compile-time iterations")
+        phis = current.phis()
+        updates = {}
+        for phi in phis:
+            try:
+                incoming = phi.phi_value_for(prev)
+            except KeyError:
+                raise _Reject(
+                    f"phi %{phi.name or '?'} has no entry for the "
+                    f"executed edge") from None
+            updates[id(phi)] = resolve(incoming)
+        env.update(updates)
+        term = current.terminator
+        if term is None or term.opcode != "br":
+            raise _Reject(
+                f"loop block '{current.name}' ends in "
+                f"'{term.opcode if term is not None else '?'}' — the "
+                f"body is not side-effect-free")
+        for inst in current.instructions:
+            if inst.opcode == "phi" or inst is term:
+                continue
+            if not inst.is_pure and inst.opcode != "prb":
+                raise _Reject(
+                    f"'{inst.opcode}' in the loop body has side effects")
+            resolved = [resolve(op) for op in inst.operands]
+            env[id(inst)] = _step(inst, resolved, resolve, materialize,
+                                  staged)
+            if len(staged) > MAX_EMITTED:
+                raise _Reject(
+                    f"unrolled body exceeds {MAX_EMITTED} instructions")
+        if term.is_conditional_branch:
+            cond = resolve(term.branch_condition())
+            taken = term.operands[2 if _concrete_bool(cond) else 1]
+        else:
+            taken = term.operands[0]
+        if id(taken) not in loop.blocks:
+            # ``taken`` can never be the preheader: an exit edge back to
+            # it would make the preheader a dominating loop header of an
+            # enclosing (non-terminating) loop, which is discovered —
+            # and rejected — instead of this one.
+            return _ExecState(env, taken, current)
+        prev, current = current, taken
+
+
+def _step(inst, resolved, resolve, materialize, staged):
+    """Execute one instruction: fold when possible, else stage a clone."""
+    if inst.is_pure and all(r[0] == "c" for r in resolved):
+        try:
+            return ("c", evaluate(inst, [r[1] for r in resolved]))
+        except SimulationError:
+            pass  # stage it; the error (if reached) stays a runtime one
+    shortcut = _mux_shortcut(inst, resolved, resolve)
+    if shortcut is not None:
+        return shortcut
+    operands = [materialize(r, op.type)
+                for r, op in zip(resolved, inst.operands)]
+    clone = Instruction(inst.opcode, inst.type, operands,
+                        dict(inst.attrs), inst.name)
+    staged.append(clone)
+    return ("v", clone)
+
+
+def _mux_shortcut(inst, resolved, resolve):
+    """Muxes whose outcome does not depend on a runtime selector.
+
+    * concrete selector: the chosen element resolves directly (even when
+      other elements are runtime values, via the feeding ``array``);
+    * all elements concrete and equal: the selector is irrelevant — but
+      only for selectors that cannot be unknown at runtime (an ``lN``
+      selector with an ``X`` is a runtime error folding would erase).
+    """
+    if inst.opcode != "mux":
+        return None
+    choices, sel = resolved
+    if sel[0] == "c":
+        index = sel[1]
+        if isinstance(index, LogicVec):
+            if not index.is_two_valued:
+                return None
+            index = index.to_int()
+        if choices[0] == "c":
+            elements = choices[1]
+            return ("c", elements[min(index, len(elements) - 1)])
+        array = inst.operands[0]
+        if isinstance(array, Instruction) and array.opcode == "array":
+            if array.attrs.get("splat"):
+                return resolve(array.operands[0])
+            elements = array.operands
+            return resolve(elements[min(index, len(elements) - 1)])
+        return None
+    if choices[0] == "c" and not inst.operands[1].type.is_logic:
+        elements = choices[1]
+        if all(e == elements[0] for e in elements[1:]):
+            return ("c", elements[0])
+    return None
+
+
+def _concrete_bool(resolved):
+    # Branch conditions are always i1 (the builder enforces it), so a
+    # concrete condition is a plain int — never a LogicVec.
+    if resolved[0] != "c":
+        raise _Reject(
+            "branch condition in the loop is not compile-time constant "
+            "(non-constant trip count)")
+    return bool(resolved[1])
+
+
+def _materialize_const(value, ty, staged, cache):
+    """A staged constant instruction (or aggregate tree) for ``value``."""
+    from .clone import materialize_constant
+
+    key = (str(ty), type(value).__name__, repr(value))
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    def emit(inst):
+        staged.append(inst)
+        return inst
+
+    try:
+        inst = materialize_constant(value, ty, emit)
+    except ValueError as error:
+        raise _Reject(str(error)) from None
+    cache[key] = inst
+    return inst
+
+
+# -- committing the unrolled form ---------------------------------------------
+
+
+def _commit(unit, loop, preheader, staged, state):
+    """Splice the straight-line code in and delete the loop."""
+    from ..analysis.cfg import rebuild_phi, remove_unreachable_blocks
+
+    env = state.env
+    const_cache = {}
+
+    def final_value(value):
+        known = env.get(id(value))
+        if known is None:
+            raise _Reject(
+                f"value %{value.name or '?'} escapes the loop but was "
+                f"never computed on the executed path")
+        if known[0] == "v":
+            return known[1]
+        return _materialize_const(known[1], value.type, staged, const_cache)
+
+    # Escaping values: collect replacements before mutating anything, so
+    # a late _Reject leaves the unit untouched.  Phi uses whose incoming
+    # edge comes *from a loop block* are not replacements: the taken
+    # exit edge is rebuilt below, and pairs on never-taken exit edges
+    # are pruned along with their predecessor blocks — their values may
+    # legitimately never have been computed.
+    replacements = []
+    for block in loop.blocks.values():
+        for inst in block.instructions:
+            if inst.is_terminator:
+                continue
+            for use in list(inst.uses):
+                user = use.user
+                if user.parent is None \
+                        or id(user.parent) in loop.blocks:
+                    continue
+                if user.opcode == "phi":
+                    pred = user.operands[use.index + 1] \
+                        if use.index % 2 == 0 else None
+                    if pred is not None and id(pred) in loop.blocks:
+                        continue
+                replacements.append((use, final_value(inst)))
+    exit_phis = []
+    for phi in state.exit_block.phis():
+        # Surviving non-loop edges may still carry *loop-defined* values
+        # (an outside block dominated by the loop looping back to the
+        # exit): those must be mapped to their final values here, since
+        # ``rebuild_phi`` below reinstalls these pairs wholesale and
+        # would otherwise resurrect a reference into the deleted loop.
+        pairs = []
+        for v, b in phi.phi_pairs():
+            if id(b) in loop.blocks:
+                continue
+            if isinstance(v, Instruction) and v.parent is not None \
+                    and id(v.parent) in loop.blocks:
+                v = final_value(v)
+            pairs.append((v, b))
+        incoming = phi.phi_value_for(state.exit_pred)
+        known = env.get(id(incoming))
+        if known is None:  # defined outside the loop (or a constant)
+            value = incoming
+        elif known[0] == "v":
+            value = known[1]
+        else:
+            value = _materialize_const(known[1], phi.type, staged,
+                                       const_cache)
+        exit_phis.append((phi, pairs + [(value, preheader)]))
+
+    # Point of no return: insert the staged code and rewire the CFG.
+    insert_at = preheader.index_of(preheader.terminator)
+    for inst in staged:
+        preheader.insert(insert_at, inst)
+        insert_at += 1
+    for use, value in replacements:
+        use.user.set_operand(use.index, value)
+    for phi, pairs in exit_phis:
         rebuild_phi(phi, pairs)
-    return True
+    preheader.terminator.erase()
+    Builder.at_end(preheader).br(state.exit_block)
+    remove_unreachable_blocks(unit)

@@ -79,7 +79,12 @@ def _build_parser():
         help="simulate under interp AND blaze; fail on trace divergence")
     parser.add_argument(
         "--list-designs", action="store_true",
-        help="list the named designs of the evaluation suite, then exit")
+        help="list the named designs of the evaluation suite with the "
+             "deepest pipeline level each reaches, then exit")
+    parser.add_argument(
+        "--no-reach", action="store_true",
+        help="with --list-designs: skip the (slower) per-design lowering "
+             "that computes the reach column")
     return parser
 
 
@@ -149,11 +154,19 @@ def main(argv=None):
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list_designs:
-        from ..designs import ALL_DESIGNS, DESIGNS
+        from ..designs import ALL_DESIGNS, DESIGNS, stage_reach
 
         for name in ALL_DESIGNS:
             design = DESIGNS[name]
-            print(f"{name:16s} top @{design.top:24s} {design.paper_name}")
+            prefix = f"{name:16s} top @{design.top:20s}"
+            if args.no_reach:
+                print(f"{prefix} {design.paper_name}")
+                continue
+            reach, rejections = stage_reach(name)
+            deepest = [s for s, ok in reach.items() if ok][-1]
+            print(f"{prefix} reach {deepest:12s} {design.paper_name}")
+            for proc, why in rejections:
+                print(f"{'':21s} rejected @{proc}: {why}")
         return 0
     module, top = _load_module(args, parser)
     until_fs = parse_time_fs(args.until) if args.until else None

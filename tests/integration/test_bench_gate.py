@@ -1,0 +1,68 @@
+"""The bench-regression gate: baseline format and comparison logic."""
+
+import json
+import pathlib
+
+from benchmarks.common import baseline_from_results, compare_to_baseline
+
+RESULTS = {
+    "gray": {"backends": {"interp": {"per_cycle_us": 100.0},
+                          "blaze": {"per_cycle_us": 50.0}}},
+    "fir": {"backends": {"interp": {"per_cycle_us": 200.0},
+                         "blaze": {"per_cycle_us": 80.0}}},
+}
+
+
+def test_regression_beyond_tolerance_is_flagged():
+    baseline = {"designs": {"gray": {"interp": 50.0, "blaze": 50.0},
+                            "fir": {"interp": 200.0, "blaze": 80.0}}}
+    regressions, lines = compare_to_baseline(RESULTS, baseline,
+                                             tolerance=0.25)
+    assert [(n, e) for n, e, _ in regressions] == [("gray", "interp")]
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_uniform_machine_shift_cancels():
+    """A CI runner uniformly 2x slower than the baseline machine must
+    not fire the gate: the geometric-mean normalization absorbs it."""
+    half_speed = {"designs": {"gray": {"interp": 50.0, "blaze": 25.0},
+                              "fir": {"interp": 100.0, "blaze": 40.0}}}
+    regressions, _ = compare_to_baseline(RESULTS, half_speed,
+                                         tolerance=0.25)
+    assert regressions == []
+
+
+def test_raw_comparison_without_normalization():
+    half_speed = {"designs": {"gray": {"interp": 50.0, "blaze": 25.0},
+                              "fir": {"interp": 100.0, "blaze": 40.0}}}
+    regressions, _ = compare_to_baseline(RESULTS, half_speed,
+                                         tolerance=0.25, normalize=False)
+    assert len(regressions) == 4  # every cell is 2x raw
+
+
+def test_empty_overlap_is_not_a_failure():
+    regressions, lines = compare_to_baseline(RESULTS, {"designs": {}})
+    assert regressions == []
+    assert "no overlapping cells" in lines[0]
+
+
+def test_baseline_roundtrip_from_results():
+    doc = baseline_from_results(RESULTS, meta={"runs": 3})
+    assert doc["designs"]["gray"]["blaze"] == 50.0
+    assert doc["meta"]["runs"] == 3
+    regressions, _ = compare_to_baseline(RESULTS, doc)
+    assert regressions == []  # identical run vs its own baseline
+
+
+def test_committed_baseline_covers_the_quick_subset():
+    """CI runs the gate in --quick mode: every quick design × engine
+    must be present in the committed BENCH_baseline.json."""
+    from benchmarks.bench_table2_simulation import QUICK_DESIGNS
+
+    path = pathlib.Path(__file__).resolve().parents[2] / \
+        "BENCH_baseline.json"
+    doc = json.loads(path.read_text())
+    for name in QUICK_DESIGNS:
+        assert name in doc["designs"], name
+        for engine in ("interp", "blaze"):
+            assert doc["designs"][name].get(engine), (name, engine)

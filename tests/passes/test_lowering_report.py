@@ -130,3 +130,46 @@ def test_report_repr_mentions_outcomes():
     report = lower_to_structural(module)
     text = repr(report)
     assert "acc_comb" in text and "acc_ff" in text
+
+
+def test_design_vs_testbench_rejection_accounting():
+    """The report classifies rejections: an `initial`-style testbench
+    process does not count against the design, a design process does."""
+    from repro.passes import LoweringReport
+
+    testbench = TESTBENCH.replace("@tb", "@top_tb_initial_1")
+    module = parse_module(ACC + testbench)
+    report = lower_to_structural(module, strict=False)
+    assert [n for n, _ in report.rejected] == ["top_tb_initial_1"]
+    assert report.design_rejections() == []
+    assert report.testbench_rejections() == report.rejected
+    assert report.fully_lowered
+    assert LoweringReport.is_testbench("top_tb_initial_1")
+    assert not LoweringReport.is_testbench("dut_always_comb_1")
+
+
+def test_design_rejection_counts_against_fully_lowered():
+    source = """
+    proc @dut_always_comb_1 (i8$ %n) -> (i8$ %y) {
+    entry:
+      %np = prb i8$ %n
+      %t = const time 0s
+      %zero = const i8 0
+      %one = const i8 1
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %head]
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %np
+      br %more, %exit, %head
+    exit:
+      drv i8$ %y, %i after %t
+      wait %entry for %n
+    }
+    """
+    module = parse_module(source)
+    report = lower_to_structural(module, strict=False, verify=False)
+    assert not report.fully_lowered
+    (name, reason), = report.design_rejections()
+    assert name == "dut_always_comb_1"
+    assert reason.startswith("unroll:")

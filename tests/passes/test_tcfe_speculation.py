@@ -1,0 +1,159 @@
+"""Speculative if-conversion in TCFE: what may move, and what must not."""
+
+from repro.ir import parse_module
+from repro.passes import tcfe
+from repro.sim import simulate
+
+
+def _parse_entity_ops(body):
+    module = parse_module(f"""
+    proc @p (i8$ %a, i8$ %b, i1$ %c, l8$ %l) -> (i8$ %y) {{
+    entry:
+      %ap = prb i8$ %a
+      %bp = prb i8$ %b
+      %cp = prb i1$ %c
+      %lp = prb l8$ %l
+      %t = const time 0s
+      br %cp, %other, %side
+    side:
+{body}
+      br %join
+    other:
+      br %join
+    join:
+      %r = phi i8 [%v, %side], [%ap, %other]
+      drv i8$ %y, %r after %t
+      wait %entry for %a, %b, %c, %l
+    }}
+    """)
+    return module.get("p")
+
+
+def test_pure_side_blocks_are_hoisted_and_converted():
+    proc = _parse_entity_ops("      %v = add i8 %ap, %bp")
+    assert tcfe.run(proc)
+    # The diamond collapsed: the add moved up, the phi became a mux.
+    opcodes = [i.opcode for i in proc.instructions()]
+    assert "phi" not in opcodes
+    assert "mux" in opcodes and "add" in opcodes
+
+
+def test_division_is_not_speculated():
+    proc = _parse_entity_ops("      %v = udiv i8 %ap, %bp")
+    tcfe.run(proc)
+    # The divide stays guarded in its own block: the triangle with a
+    # raising-on-zero side must not collapse (empty-block threading of
+    # the other arm is fine).
+    div = next(i for i in proc.instructions() if i.opcode == "udiv")
+    assert div.parent.name.startswith("side")
+    assert any(i.opcode == "phi" for i in proc.instructions())
+
+
+def test_logic_selector_mux_is_not_speculated():
+    """An lN-selector mux raises on an X selector at runtime: hoisting
+    it onto the always-taken path could introduce that error."""
+    proc = _parse_entity_ops("""      %la = [l8 %lp, %lp]
+      %lsel = trunc l8 %lp to l1
+      %lv = mux l8 %la, %lsel
+      %veq = eq l8 %lv, %lp
+      %v = zext i1 %veq to i8""")
+    tcfe.run(proc)
+    mux = next(i for i in proc.instructions() if i.opcode == "mux"
+               and i.operands[1].type.is_logic)
+    assert mux.parent.name.startswith("side")
+
+
+def test_unknown_shift_amounts_on_integers_are_not_speculated():
+    from repro.passes.tcfe import _speculatable
+    module = parse_module("""
+    proc @q (i8$ %a, l8$ %l) -> (i8$ %y) {
+    entry:
+      %ap = prb i8$ %a
+      %lp = prb l8$ %l
+      %s1 = shl i8 %ap, %lp
+      %s2 = shl l8 %lp, %ap
+      %arr = [i8 %ap, %ap]
+      %one = const i1 1
+      %m = mux i8 %arr, %one
+      halt
+    }
+    """)
+    insts = {i.name: i for i in module.get("q").instructions()
+             if i.name}
+    assert not _speculatable(insts["s1"])  # iN value, lN amount: may raise
+    assert _speculatable(insts["s2"])      # lN value degrades to X
+    assert _speculatable(insts["m"])       # int selector is total
+
+
+def test_dynamic_aggregate_indices_are_not_speculated():
+    from repro.passes.tcfe import _speculatable
+    module = parse_module("""
+    proc @q (i8$ %a) -> (i8$ %y) {
+    entry:
+      %ap = prb i8$ %a
+      %arr = [4 x i8 %ap]
+      %static = extf i8, [4 x i8] %arr, 2
+      %dyn = extf i8, [4 x i8] %arr, %ap
+      halt
+    }
+    """)
+    insts = {i.name: i for i in module.get("q").instructions() if i.name}
+    assert _speculatable(insts["static"])
+    assert not _speculatable(insts["dyn"])
+
+
+def test_speculated_conversion_preserves_simulation():
+    source = """
+    proc @p (i8$ %a, i8$ %b, i1$ %c) -> (i8$ %y) {
+    entry:
+      %ap = prb i8$ %a
+      %bp = prb i8$ %b
+      %cp = prb i1$ %c
+      %t = const time 0s
+      br %cp, %other, %side
+    side:
+      %v = add i8 %ap, %bp
+      br %join
+    other:
+      br %join
+    join:
+      %r = phi i8 [%v, %side], [%ap, %other]
+      drv i8$ %y, %r after %t
+      wait %entry for %a, %b, %c
+    }
+
+    proc @tb (i8$ %y) -> (i8$ %a, i8$ %b, i1$ %c) {
+    entry:
+      %t1 = const time 1ns
+      %va = const i8 10
+      %vb = const i8 32
+      %on = const i1 1
+      %off = const i1 0
+      drv i8$ %a, %va after %t1
+      drv i8$ %b, %vb after %t1
+      drv i1$ %c, %on after %t1
+      wait %s1 for %y
+    s1:
+      %t2 = const time 1ns
+      drv i1$ %c, %off after %t2
+      wait %s2 for %y
+    s2:
+      halt
+    }
+
+    entity @top () -> () {
+      %z = const i8 0
+      %o = const i1 0
+      %a = sig i8 %z
+      %b = sig i8 %z
+      %c = sig i1 %o
+      %y = sig i8 %z
+      inst @p (i8$ %a, i8$ %b, i1$ %c) -> (i8$ %y)
+      inst @tb (i8$ %y) -> (i8$ %a, i8$ %b, i1$ %c)
+    }
+    """
+    ref = simulate(parse_module(source), "top")
+    module = parse_module(source)
+    tcfe.run(module.get("p"))
+    low = simulate(module, "top")
+    assert ref.trace.differences(low.trace) == []

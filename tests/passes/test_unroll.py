@@ -1,0 +1,642 @@
+"""The symbolic loop unroller: edge cases and rejection reporting.
+
+Unrolling is what turns the loop-heavy combinational cores into
+straight-line code; these tests pin down its contract:
+
+* loops with non-constant trip counts are *rejected with a recorded
+  reason*, never an exception;
+* nested counted loops unroll in one pass (the symbolic executor walks
+  the concrete path through both levels);
+* values escaping the loop into ``drv`` instructions carry the
+  last-iteration value;
+* ``lN`` induction arithmetic folds exactly like ``iN`` as long as the
+  counters stay two-valued;
+* side effects in a loop body reject.
+"""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.moore import compile_sv
+from repro.passes import unroll
+from repro.passes.manager import PassManager
+from repro.passes.pipeline import (
+    PREPARE_SPEC, lower_to_structural,
+)
+from repro.sim import simulate
+
+
+def _prepare(module):
+    pm = PassManager()
+    for proc in list(module.processes()):
+        pm.run_spec(PREPARE_SPEC, proc)
+    return module
+
+
+def _comb_proc(module, fragment="always_comb"):
+    return next(p for p in module.processes() if fragment in p.name)
+
+
+# -- rejection: non-constant trip counts ---------------------------------------
+
+
+NON_CONSTANT_TRIP = """
+module dut (input logic [7:0] n, output logic [7:0] y);
+  always_comb begin
+    automatic int i = 0;
+    automatic int acc = 0;
+    for (i = 0; i < n; i++)
+      acc = acc + 3;
+    y = acc[7:0];
+  end
+endmodule
+"""
+
+
+def test_non_constant_trip_count_rejects_with_reason_not_raise():
+    module = compile_sv(NON_CONSTANT_TRIP)
+    _prepare(module)  # must not raise
+    proc = _comb_proc(module)
+    reasons = unroll.failure_reasons(proc)
+    assert len(reasons) == 1
+    assert "not compile-time constant" in reasons[0]
+
+
+def test_non_constant_trip_count_reason_reaches_the_report():
+    module = compile_sv(NON_CONSTANT_TRIP)
+    report = lower_to_structural(module, strict=False, verify=False)
+    rejected = dict(report.rejected)
+    reason = rejected["dut_always_comb_1"]
+    assert reason.startswith("unroll:")
+    assert "not compile-time constant" in reason
+    assert report.design_rejections() == [
+        ("dut_always_comb_1", reason)]
+
+
+def test_run_records_reasons_into_a_caller_list():
+    module = compile_sv(NON_CONSTANT_TRIP)
+    _prepare(module)
+    reasons = []
+    unrolled = unroll.run(_comb_proc(module), reasons=reasons)
+    assert unrolled == 0
+    assert reasons and "not compile-time constant" in reasons[0]
+
+
+# -- nested loops --------------------------------------------------------------
+
+
+NESTED = """
+module dut (input logic [15:0] x, output logic [7:0] y);
+  always_comb begin
+    automatic int i = 0;
+    automatic int j = 0;
+    automatic int acc = 0;
+    for (i = 0; i < 4; i++)
+      for (j = 0; j < 4; j++)
+        if (x[i * 4 + j])
+          acc = acc + 1;
+    y = acc[7:0];
+  end
+endmodule
+
+module tb;
+  logic [15:0] x;
+  logic [7:0] y;
+  dut d (.x(x), .y(y));
+  initial begin
+    x = 16'h0000; #1ns;
+    x = 16'hF00F; #1ns;
+    x = 16'hFFFF; #1ns;
+    x = 16'h8421; #1ns;
+  end
+endmodule
+"""
+
+
+def test_nested_counted_loops_unroll_and_lower():
+    module = compile_sv(NESTED)
+    ref = simulate(compile_sv(NESTED), "tb")
+    report = lower_to_structural(module, strict=False, verify=False)
+    assert report.design_rejections() == []
+    low = simulate(module, "tb")
+    assert ref.trace.differences(low.trace, signals=["tb.y"]) == []
+
+
+# -- escaping values feeding drv ----------------------------------------------
+
+
+ESCAPING = """
+module dut (input logic [7:0] x, output logic [7:0] last,
+            output logic [7:0] sum);
+  always_comb begin
+    automatic int i = 0;
+    automatic logic [7:0] acc = 8'd0;
+    automatic logic [7:0] cur = 8'd0;
+    for (i = 0; i < 5; i++) begin
+      cur = x + i[7:0];
+      acc = acc + cur;
+    end
+    last = cur;
+    sum = acc;
+  end
+endmodule
+
+module tb;
+  logic [7:0] x, last, sum;
+  dut d (.x(x), .last(last), .sum(sum));
+  initial begin
+    x = 8'd0; #1ns;
+    x = 8'd7; #1ns;
+    x = 8'd200; #1ns;
+  end
+endmodule
+"""
+
+
+def test_escaping_values_feed_drives_with_last_iteration_values():
+    module = compile_sv(ESCAPING)
+    ref = simulate(compile_sv(ESCAPING), "tb")
+    report = lower_to_structural(module, strict=False, verify=False)
+    assert report.design_rejections() == []
+    low = simulate(module, "tb")
+    assert ref.trace.differences(low.trace,
+                                 signals=["tb.last", "tb.sum"]) == []
+
+
+# -- lN induction variables ----------------------------------------------------
+
+
+def test_logic_induction_variables_unroll():
+    module = compile_sv(NESTED, four_state=True)
+    ref = simulate(compile_sv(NESTED, four_state=True), "tb")
+    report = lower_to_structural(module, strict=False, verify=False)
+    assert report.design_rejections() == []
+    low = simulate(module, "tb")
+    assert ref.trace.differences(low.trace, signals=["tb.y"]) == []
+
+
+def test_logic_counted_loop_folds_to_straight_line():
+    module = compile_sv(NON_CONSTANT_TRIP.replace("i < n", "i < 6"),
+                        four_state=True)
+    _prepare(module)
+    proc = _comb_proc(module)
+    assert unroll.failure_reasons(proc) == []
+    # The loop is gone: no block branches backwards anymore.
+    assert len(unroll._find_loops(proc)) == 0
+
+
+# -- direct IR edge cases ------------------------------------------------------
+
+
+SIDE_EFFECT_LOOP = """
+proc @p (i8$ %x) -> (i8$ %y) {
+entry:
+  %zero = const i8 0
+  %one = const i8 1
+  %lim = const i8 3
+  %t = const time 0s
+  br %head
+head:
+  %i = phi i8 [%zero, %entry], [%next, %head]
+  %next = add i8 %i, %one
+  drv i8$ %y, %i after %t
+  %more = ult i8 %next, %lim
+  br %more, %exit, %head
+exit:
+  wait %entry for %x
+}
+"""
+
+
+def test_side_effecting_loop_body_rejects():
+    module = parse_module(SIDE_EFFECT_LOOP)
+    proc = module.get("p")
+    assert unroll.run(proc) == 0
+    reasons = unroll.failure_reasons(proc)
+    assert len(reasons) == 1
+    assert "'drv'" in reasons[0] and "side effects" in reasons[0]
+
+
+MULTI_ENTRY = """
+proc @p (i1$ %c) -> (i8$ %y) {
+entry:
+  %cp = prb i1$ %c
+  %zero = const i8 0
+  %one = const i8 1
+  %lim = const i8 3
+  br %cp, %pre_a, %pre_b
+pre_a:
+  br %head
+pre_b:
+  br %head
+head:
+  %i = phi i8 [%zero, %pre_a], [%one, %pre_b], [%next, %head]
+  %next = add i8 %i, %one
+  %more = ult i8 %next, %lim
+  br %more, %exit, %head
+exit:
+  %t = const time 0s
+  drv i8$ %y, %i after %t
+  wait %entry for %c
+}
+"""
+
+
+def test_multiple_preheaders_reject():
+    module = parse_module(MULTI_ENTRY)
+    proc = module.get("p")
+    assert unroll.run(proc) == 0
+    reasons = unroll.failure_reasons(proc)
+    assert len(reasons) == 1
+    assert "outside predecessors" in reasons[0]
+
+
+INFINITE = """
+proc @p (i8$ %x) -> (i8$ %y) {
+entry:
+  %zero = const i8 0
+  br %head
+head:
+  %i = phi i8 [%zero, %entry], [%i, %head]
+  %true = const i1 1
+  br %true, %exit, %head
+exit:
+  wait %entry for %x
+}
+"""
+
+
+def test_compile_time_nontermination_rejects():
+    module = parse_module(INFINITE)
+    proc = module.get("p")
+    assert unroll.run(proc) == 0
+    reasons = unroll.failure_reasons(proc)
+    assert len(reasons) == 1
+    assert "did not terminate" in reasons[0]
+
+
+def test_unknown_logic_data_folds_by_ieee_semantics():
+    """Branch conditions are always ``i1`` (the builder enforces it), so
+    an X can only enter through comparisons — and ``eq`` on an unknown
+    is *false* under IEEE 1164, which the symbolic executor reproduces:
+    the loop below exits on its first test."""
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %zero = const l1 "X"
+      br %head
+    head:
+      %i = phi l1 [%zero, %entry], [%i, %head]
+      %cont = eq l1 %i, %i
+      br %cont, %exit, %head
+    exit:
+      wait %entry for %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 1  # X == X is 0 -> exits immediately
+    assert len(unroll._find_loops(proc)) == 0
+
+
+def test_entities_are_not_touched():
+    module = parse_module("""
+    entity @e (i8$ %a) -> (i8$ %y) {
+      %ap = prb i8$ %a
+      %t = const time 0s
+      drv i8$ %y, %ap after %t
+    }
+    """)
+    entity = module.get("e")
+    assert unroll.run(entity) == 0
+    assert unroll.failure_reasons(entity) == []
+
+
+SIDE_ENTRY = """
+proc @p (i1$ %c, i8$ %x) -> (i8$ %y) {
+entry:
+  %cp = prb i1$ %c
+  %zero = const i8 0
+  %one = const i8 1
+  %lim = const i8 3
+  br %cp, %head, %side
+side:
+  br %body
+head:
+  %i = phi i8 [%zero, %entry], [%next, %body]
+  br %body
+body:
+  %j = phi i8 [%i, %head], [%one, %side]
+  %next = add i8 %j, %one
+  %more = ult i8 %next, %lim
+  br %more, %exit, %head
+exit:
+  wait %entry for %c, %x
+}
+"""
+
+
+def test_side_entries_make_the_cycle_invisible_and_unchanged():
+    """A side entry into the loop body makes the CFG irreducible:
+    dominance-based back-edge detection reports no loop at all, so the
+    unroller leaves the process untouched (and the pipeline falls back
+    to the blocks/temporal-regions rejection)."""
+    module = parse_module(SIDE_ENTRY)
+    proc = module.get("p")
+    blocks_before = len(proc.blocks)
+    assert unroll.run(proc) == 0
+    assert unroll.failure_reasons(proc) == []
+    assert unroll._find_loops(proc) == []
+    assert len(proc.blocks) == blocks_before
+
+
+def test_emitted_instruction_cap_rejects(monkeypatch):
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %xp = prb i8$ %x
+      %zero = const i8 0
+      %one = const i8 1
+      %lim = const i8 100
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %head]
+      %acc = phi i8 [%zero, %entry], [%acc2, %head]
+      %acc2 = add i8 %acc, %xp
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %lim
+      br %more, %exit, %head
+    exit:
+      wait %entry for %x
+    }
+    """
+    monkeypatch.setattr(unroll, "MAX_EMITTED", 10)
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 0
+    reasons = unroll.failure_reasons(proc)
+    assert reasons and "exceeds 10 instructions" in reasons[0]
+
+
+def test_loop_branching_back_before_its_preheader_rejects():
+    """An "exit" edge back to the preheader really forms an enclosing
+    non-terminating loop; the discovery reports the *outer* loop and
+    its symbolic execution hits the iteration bound."""
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %zero = const i8 0
+      %one = const i8 1
+      %lim = const i8 3
+      br %pre
+    pre:
+      br %head
+    head:
+      %i = phi i8 [%zero, %pre], [%next, %head]
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %lim
+      br %more, %pre, %head
+    exit:
+      wait %entry for %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 0
+    reasons = unroll.failure_reasons(proc)
+    assert len(reasons) == 1
+    assert "pre" in reasons[0] and "did not terminate" in reasons[0]
+
+
+def test_malformed_phi_missing_the_entry_edge_rejects():
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %zero = const i8 0
+      %one = const i8 1
+      %lim = const i8 3
+      br %head
+    head:
+      %i = phi i8 [%next, %head]
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %lim
+      br %more, %exit, %head
+    exit:
+      wait %entry for %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 0
+    reasons = unroll.failure_reasons(proc)
+    assert reasons and "no entry for the executed edge" in reasons[0]
+
+
+def test_concrete_evaluation_errors_stay_runtime_errors():
+    """A division by zero on constants inside the loop must not fold
+    (and must not crash the unroller): the instruction is staged so the
+    error still happens at runtime, exactly as the loop would have."""
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %zero = const i8 0
+      %one = const i8 1
+      %lim = const i8 2
+      %t = const time 0s
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %head]
+      %bad = udiv i8 %one, %zero
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %lim
+      br %more, %exit, %head
+    exit:
+      drv i8$ %y, %bad after %t
+      wait %entry for %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 1
+    divs = [i for i in proc.entry.instructions if i.opcode == "udiv"]
+    assert divs  # staged, not folded away
+
+
+def test_mux_with_concrete_selector_picks_through_the_array():
+    """A concrete selector resolves the chosen element even when other
+    elements are runtime values — via the feeding array instruction."""
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %xp = prb i8$ %x
+      %zero = const i8 0
+      %one = const i1 1
+      %i1one = const i8 1
+      %lim = const i8 2
+      %t = const time 0s
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %head]
+      %arr = [i8 %xp, %i]
+      %pick = mux i8 %arr, %one
+      %next = add i8 %i, %i1one
+      %more = ult i8 %next, %lim
+      br %more, %exit, %head
+    exit:
+      drv i8$ %y, %pick after %t
+      wait %entry for %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 1
+    # %pick selected %i (concrete): the drive value folded to const 1.
+    drv = next(i for i in proc.instructions() if i.opcode == "drv")
+    assert drv.drv_value().opcode == "const"
+    assert drv.drv_value().attrs["value"] == 1
+
+
+def test_mux_splat_array_resolves_through_the_splat():
+    source = """
+    proc @p (i8$ %x, i1$ %s) -> (i8$ %y) {
+    entry:
+      %xp = prb i8$ %x
+      %zero = const i8 0
+      %one = const i8 1
+      %lim = const i8 2
+      %selv = const i1 1
+      %t = const time 0s
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %head]
+      %arr = [4 x i8 %xp]
+      %pick = mux i8 %arr, %selv
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %lim
+      br %more, %exit, %head
+    exit:
+      drv i8$ %y, %pick after %t
+      wait %entry for %x, %s
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 1
+    drv = next(i for i in proc.instructions() if i.opcode == "drv")
+    assert drv.drv_value().opcode == "prb"  # resolved to %xp itself
+
+
+def test_never_taken_break_edges_do_not_block_unrolling():
+    """A break-style exit edge that is never taken feeds the exit phi a
+    value that is never computed; the unroller must prune that pair with
+    the dead edge instead of rejecting the loop."""
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %zero = const i8 0
+      %one = const i8 1
+      %three = const i8 3
+      %nine = const i8 9
+      %forty = const i8 40
+      %t = const time 0s
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %back]
+      %c1 = ult i8 %i, %three
+      br %c1, %out, %body
+    body:
+      %c2 = eq i8 %i, %nine
+      br %c2, %back, %brk
+    brk:
+      %dead = add i8 %i, %forty
+      br %out
+    back:
+      %next = add i8 %i, %one
+      br %head
+    out:
+      %r = phi i8 [%i, %head], [%dead, %brk]
+      drv i8$ %y, %r after %t
+      wait %entry for %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 1
+    drv = next(i for i in proc.instructions() if i.opcode == "drv")
+    assert drv.drv_value().opcode == "const"
+    assert drv.drv_value().attrs["value"] == 3
+
+
+def test_exit_phi_edges_from_outside_blocks_get_final_values():
+    """An outside block dominated by the loop can loop back into the
+    exit block carrying a *loop-defined* value on its own edge; that
+    pair must be rewritten to the final value, not reinstalled stale
+    (which would leave a dangling reference into the deleted loop)."""
+    from repro.ir import verify_module
+
+    source = """
+    proc @p (i1$ %go, i8$ %x) -> (i8$ %y) {
+    entry:
+      %zero = const i8 0
+      %one = const i8 1
+      %three = const i8 3
+      %t = const time 0s
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %head]
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %three
+      br %more, %post, %head
+    post:
+      %r = phi i8 [%i, %head], [%i, %spin]
+      %gop = prb i1$ %go
+      br %gop, %done, %spin
+    spin:
+      br %post
+    done:
+      drv i8$ %y, %r after %t
+      wait %entry for %go, %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 1
+    # No operand may reference an instruction from the deleted loop.
+    for inst in proc.instructions():
+        for op in inst.operands:
+            if hasattr(op, "parent") and hasattr(op, "opcode"):
+                assert op.parent is not None, (inst, op)
+    verify_module(module)
+
+
+def test_symbolic_unroll_emits_into_the_preheader():
+    source = """
+    proc @p (i8$ %x) -> (i8$ %y) {
+    entry:
+      %xp = prb i8$ %x
+      %zero = const i8 0
+      %one = const i8 1
+      %lim = const i8 4
+      %t = const time 0s
+      br %head
+    head:
+      %i = phi i8 [%zero, %entry], [%next, %head]
+      %acc = phi i8 [%zero, %entry], [%acc2, %head]
+      %acc2 = add i8 %acc, %xp
+      %next = add i8 %i, %one
+      %more = ult i8 %next, %lim
+      br %more, %exit, %head
+    exit:
+      drv i8$ %y, %acc2 after %t
+      wait %entry for %x
+    }
+    """
+    module = parse_module(source)
+    proc = module.get("p")
+    assert unroll.run(proc) == 1
+    # Loop gone: entry now branches straight to the exit block, and the
+    # unrolled adds (4 iterations of acc2 = acc + x) live in the entry.
+    assert len(proc.blocks) == 2
+    entry = proc.entry
+    adds = [i for i in entry.instructions if i.opcode == "add"]
+    assert len(adds) == 4
