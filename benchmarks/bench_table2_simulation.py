@@ -178,6 +178,12 @@ def main(argv=None):
                         help="timing repetitions per point (min is kept)")
     parser.add_argument("--no-netlist", action="store_true",
                         help="skip the netlist-level four-state rows")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="skip the K-lane batched blaze rows")
+    parser.add_argument("--batch-lanes", type=int, nargs="*",
+                        default=(1, 4, 16), metavar="K",
+                        help="lane counts for the batched rows "
+                             "(default: 1 4 16)")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="compare marginal us/cycle against a "
                              "committed baseline JSON; exit 1 when any "
@@ -205,8 +211,11 @@ def main(argv=None):
 
     netlist_designs = () if args.no_netlist else \
         tuple(d for d in designs if d in NETLIST_BENCH)
+    batch_designs = () if args.no_batch else tuple(designs)
     results = run_sim_benchmarks(designs, runs=args.runs,
-                                 netlist_designs=netlist_designs)
+                                 netlist_designs=netlist_designs,
+                                 batch_designs=batch_designs,
+                                 batch_lanes=tuple(args.batch_lanes))
     import platform
 
     doc = merge_bench_json(

@@ -14,7 +14,7 @@ import time
 from repro.designs import (
     DESIGNS, TABLE2_ORDER, compile_design, expand_cycle_budgets,
 )
-from repro.sim import simulate
+from repro.sim import simulate, simulate_batch
 
 # Cycle budgets per design for benchmarking: sized so the reference
 # interpreter finishes a run in roughly a second.  Nine-valued ``_l``
@@ -62,6 +62,33 @@ def timed_simulation(name, backend, cycles=None, netlist=False):
             gc.enable()
     assert result.assertion_failures == [], \
         f"{name}/{backend}: design self-checks failed"
+    return elapsed, result
+
+
+def timed_batch_simulation(name, backend, cycles, lanes):
+    """Compile (untimed) then run a K-lane batch (timed).
+
+    Uniform stimulus (no per-lane variants), so the run stays on the
+    vectorized fast path — the configuration whose per-lane marginal
+    cost the batch engine is supposed to collapse.  Same GC hygiene as
+    :func:`timed_simulation`.
+    """
+    import gc
+
+    module = compile_design(name, cycles=cycles)
+    top = DESIGNS[name].top
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = simulate_batch(module, top, lanes, backend=backend)
+        elapsed = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert result.assertion_failures == [], \
+        f"{name}/{backend}@b{lanes}: design self-checks failed"
     return elapsed, result
 
 
@@ -144,8 +171,46 @@ def measure_backend(name, backend, cycles, runs=1, netlist=False,
     }
 
 
+def measure_batch(name, backend, cycles, lanes, runs=1, min_wall=0.04):
+    """Measure one design as a K-lane uniform batch.
+
+    Same adaptive-cycles, min-of-N two-point slope as
+    :func:`measure_backend`; the headline ``per_cycle_us`` is the
+    *per-lane* marginal cost (batched slope divided by K) so the value
+    is directly comparable to — and gated against — the scalar engines'
+    numbers.  The raw batched slope is kept as ``batch_per_cycle_us``.
+    """
+    t_short, result = timed_batch_simulation(name, backend, cycles, lanes)
+    ceiling = cycles * 64
+    while t_short < min_wall and cycles * 2 <= ceiling:
+        cycles *= 2
+        t_short, result = timed_batch_simulation(name, backend, cycles,
+                                                 lanes)
+    shorts = [t_short]
+    longs = []
+    for i in range(runs):
+        longs.append(timed_batch_simulation(name, backend, 3 * cycles,
+                                            lanes)[0])
+        if i < runs - 1:
+            shorts.append(timed_batch_simulation(name, backend, cycles,
+                                                 lanes)[0])
+    best_wall = min(shorts)
+    best_slope = (min(longs) - best_wall) / (2 * cycles)
+    if best_slope <= 0:
+        best_slope = min(longs) / (3 * cycles)
+    return {
+        "cycles": cycles,
+        "lanes": lanes,
+        "wall_s": round(best_wall, 6),
+        "per_cycle_us": round(best_slope * 1e6 / lanes, 3),
+        "batch_per_cycle_us": round(best_slope * 1e6, 3),
+        "stats": dict(result.stats),
+    }
+
+
 def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
-                       netlist_designs=()):
+                       netlist_designs=(), batch_designs=(),
+                       batch_lanes=(1, 4, 16), batch_backend="blaze"):
     """Measure ``designs`` under ``backends``; assert identical traces.
 
     Trace identity is checked with dedicated runs at the design's fixed
@@ -156,6 +221,12 @@ def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
     (lowered + technology-mapped, zero gate delay), recorded under
     ``<backend>@netlist`` keys; their traces must match the behavioural
     run signal-for-signal on every shared signal.
+
+    Designs listed in ``batch_designs`` are additionally measured as
+    uniform K-lane batches for each K in ``batch_lanes``, recorded
+    under ``<batch_backend>@bK`` keys whose ``per_cycle_us`` is the
+    *per-lane* marginal cost; before timing, every demuxed lane of a
+    probe batch must be byte-identical to the scalar run.
     """
     out = {}
     for name in designs:
@@ -192,6 +263,19 @@ def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
                     raise AssertionError(
                         f"{name}: netlist trace diverges under "
                         f"{backend}: {diffs[:3]}")
+        if name in batch_designs:
+            # Demux-correctness probe at the equivalence cycle count:
+            # each lane of a K=4 batch must match the scalar trace.
+            probe_lanes = 4
+            module = compile_design(name, cycles=cycles)
+            probe = simulate_batch(module, DESIGNS[name].top, probe_lanes,
+                                   backend=batch_backend)
+            for k in range(probe_lanes):
+                if trace_fingerprint(probe.lane(k).trace) != \
+                        prints[batch_backend]:
+                    raise AssertionError(
+                        f"{name}: batched lane {k} trace diverges from "
+                        f"the scalar {batch_backend} run")
         # Timing runs (adaptive cycles, min-of-N slope).
         per_backend = {}
         for backend in backends:
@@ -201,6 +285,10 @@ def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
             for backend in backends:
                 per_backend[f"{backend}@netlist"] = measure_backend(
                     name, backend, cycles, runs=runs, netlist=True)
+        if name in batch_designs:
+            for lanes in batch_lanes:
+                per_backend[f"{batch_backend}@b{lanes}"] = measure_batch(
+                    name, batch_backend, cycles, lanes, runs=runs)
         for m in per_backend.values():
             m.pop("result", None)
             m.pop("fingerprint", None)

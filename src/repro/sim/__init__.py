@@ -16,6 +16,9 @@ compared for equivalence — the paper's "traces match" claim.
 
 from __future__ import annotations
 
+from .batch import (
+    BatchSimulationResult, BatchStimulus, demux_trace, simulate_batch,
+)
 from .engine import Kernel, SignalInstance, SignalRef, advance_time
 from .trace import Trace
 from .values import SimulationError, default_value
@@ -75,6 +78,8 @@ def simulate(module, top, until_fs=None, backend="interp",
 
 
 __all__ = [
-    "BACKENDS", "Kernel", "SignalInstance", "SignalRef", "SimulationError",
-    "SimulationResult", "Trace", "advance_time", "default_value", "simulate",
+    "BACKENDS", "BatchSimulationResult", "BatchStimulus", "Kernel",
+    "SignalInstance", "SignalRef", "SimulationError", "SimulationResult",
+    "Trace", "advance_time", "default_value", "demux_trace", "simulate",
+    "simulate_batch",
 ]

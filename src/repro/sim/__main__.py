@@ -7,6 +7,8 @@ engines::
     python -m repro.sim design.llhd --engine blaze --until 100ns --stats
     python -m repro.sim --design fifo --cycles 60 --engine blaze
     python -m repro.sim design.llhd --vcd out.vcd --trace
+    python -m repro.sim --design fifo --batch 16 --stats
+    python -m repro.sim --design fifo --batch 8 --seed-stride 1 --stats
 
 Input is either an ``.llhd`` file (``-`` reads stdin) or a named design
 from the evaluation suite (``--design``, see ``--list-designs``).  The
@@ -77,6 +79,18 @@ def _build_parser():
     parser.add_argument(
         "--cross-check", action="store_true",
         help="simulate under interp AND blaze; fail on trace divergence")
+    parser.add_argument(
+        "--batch", type=int, default=None, metavar="K",
+        help="simulate K lanes through one elaborated design; without "
+             "--seed-stride every lane sees identical stimulus "
+             "(vectorized fast path)")
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="base stimulus seed for --seed-stride (default: 0)")
+    parser.add_argument(
+        "--seed-stride", type=int, default=None, metavar="S",
+        help="with --batch K: inject randomized stimulus where lane k "
+             "uses seed N+k*S, running the lanes in replicated mode")
     parser.add_argument(
         "--list-designs", action="store_true",
         help="list the named designs of the evaluation suite with the "
@@ -150,9 +164,80 @@ def _report(result, args):
             fh.write(result.trace.to_vcd())
 
 
+def _report_batch(batch, args):
+    for k in range(batch.lanes):
+        lane = batch.lane(k)
+        for line in lane.output:
+            print(f"[lane {k}] {line}")
+        for failure in lane.assertion_failures:
+            print(f"[lane {k}] {failure}", file=sys.stderr)
+    if args.stats:
+        stats = batch.stats
+        finishes = " ".join(
+            f"l{k}@{batch.lane(k).final_time_fs}fs"
+            for k in range(batch.lanes))
+        print(f"# batch of {batch.lanes} lanes ({batch.mode}): "
+              f"{stats['deltas']} deltas, {stats['events']} events, "
+              f"{stats['activations']} activations; {finishes}",
+              file=sys.stderr)
+    if args.trace:
+        for k in range(batch.lanes):
+            trace = batch.lane(k).trace
+            for name in trace.signals():
+                for fs, value in trace.history(name):
+                    print(f"l{k} {fs}fs {name} = {value}")
+    if args.vcd:
+        base, dot, ext = args.vcd.rpartition(".")
+        for k in range(batch.lanes):
+            path = f"{base}.l{k}{dot}{ext}" if dot else f"{args.vcd}.l{k}"
+            with open(path, "w") as fh:
+                fh.write(batch.lane(k).trace.to_vcd())
+
+
+def _batch_stimulus(module, top, args, parser):
+    if args.seed_stride is None:
+        return None
+    from .stimulus import inject_batch_stimulus
+
+    lane_seeds = [args.seed + k * args.seed_stride
+                  for k in range(args.batch)]
+    stimulus = inject_batch_stimulus(module, top, args.seed, lane_seeds)
+    if stimulus is None:
+        parser.error(f"--seed-stride: top @{top} has no injectable nets")
+    return stimulus
+
+
+def _run_batch_cli(module, top, until_fs, args, parser):
+    from . import simulate_batch
+
+    stimulus = _batch_stimulus(module, top, args, parser)
+    if args.cross_check:
+        runs = {}
+        for backend in ("interp", "blaze"):
+            runs[backend] = simulate_batch(
+                module, top, args.batch, until_fs=until_fs,
+                backend=backend, stimulus=stimulus)
+        for k in range(args.batch):
+            differences = runs["interp"].lane(k).trace.differences(
+                runs["blaze"].lane(k).trace)
+            if differences:
+                print(f"error: lane {k}: interp and blaze traces "
+                      "diverge:", file=sys.stderr)
+                for issue in differences:
+                    print(f"  {issue}", file=sys.stderr)
+                return None
+        print("# lane traces identical across interp and blaze",
+              file=sys.stderr)
+        return runs["blaze"]
+    return simulate_batch(module, top, args.batch, until_fs=until_fs,
+                          backend=args.engine, stimulus=stimulus)
+
+
 def main(argv=None):
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.seed_stride is not None and args.batch is None:
+        parser.error("--seed-stride requires --batch")
     if args.list_designs:
         from ..designs import ALL_DESIGNS, DESIGNS, stage_reach
 
@@ -172,6 +257,17 @@ def main(argv=None):
     until_fs = parse_time_fs(args.until) if args.until else None
 
     from . import simulate
+
+    if args.batch is not None:
+        try:
+            batch = _run_batch_cli(module, top, until_fs, args, parser)
+        except SimulationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if batch is None:
+            return 2
+        _report_batch(batch, args)
+        return 1 if batch.assertion_failures else 0
 
     try:
         if args.cross_check:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import io
 
-from ..ir.ninevalued import LogicVec
+from ..ir.ninevalued import LogicVec, lane_ones
 from ..ir.units import UnitDecl
 from ..ir.values import TimeValue
 from .engine import Kernel, SignalInstance, SignalRef
@@ -39,11 +39,16 @@ from .eval import (
     logic_neg, logic_shift,
 )
 from .interp import (
-    Cell, CellRef, Design, EntityInstance, ProcessInstance,
+    Cell, CellRef, Design, EntityInstance, LaneProcessInstance,
+    ProcessInstance,
+)
+from .lanes import (
+    evaluate_lanes, intrinsic_lanes, lane_default, lane_kernel,
+    path_of_lanes, u1, uindex, uindex_int,
 )
 from .values import (
-    SimulationError, default_value, extract_path, insert_path, mask,
-    to_signed,
+    SimulationError, default_value, extract_path, insert_path, lane_widen,
+    mask, pack_array, to_signed,
 )
 
 _EPSILON = TimeValue(0, 0, 1)
@@ -146,6 +151,7 @@ _BASE_GLOBALS = {
     "_tosigned": to_signed,
     "_extract": extract_path,
     "_insert": insert_path,
+    "_parr": pack_array,
     "_Sig": SignalInstance,
     "LogicVec": LogicVec,
     "TimeValue": TimeValue,
@@ -199,9 +205,20 @@ class _CodeBuffer:
 class UnitCompiler:
     """Compiles one unit into Python source + metadata."""
 
-    def __init__(self, unit):
+    def __init__(self, unit, lanes=1):
         self.unit = unit
+        self.lanes = lanes
         self.globals = dict(_BASE_GLOBALS)
+        if lanes > 1:
+            # Lane-mode runtime hooks, each closing over K.  Pure ops not
+            # lane-exact at this layer go through the shared evaluator;
+            # control points collapse through the uniformity guards.
+            self.globals["_evl"] = \
+                lambda inst, ops, _l=lanes: evaluate_lanes(inst, ops, _l)
+            self.globals["_u1"] = lambda c, _l=lanes: u1(c, _l)
+            self.globals["_uidx"] = lambda v, _l=lanes: uindex(v, _l)
+            self.globals["_uidxi"] = \
+                lambda v, w, _l=lanes: uindex_int(v, w, _l)
         self.names = {}       # id(value) -> python variable name
         self.slots = {}       # id(value) -> binding slot (entities/args)
         self.reg_slots = {}   # id(reg inst) -> (state_base, n_triggers)
@@ -209,7 +226,10 @@ class UnitCompiler:
         self._counter = 0
         self._const_counter = 0
         self.code = _CodeBuffer()
-        self._elided = self._elidable_mux_arrays()
+        # Mux/array fusion folds the selector into Python control flow;
+        # in lane mode selection is per-lane *data*, so keep the array
+        # and let the evaluator handle it value-wise.
+        self._elided = set() if lanes > 1 else self._elidable_mux_arrays()
 
     def _all_instructions(self):
         unit = self.unit
@@ -270,12 +290,16 @@ class UnitCompiler:
 
     def const_expr(self, inst):
         value = inst.attrs["value"]
+        if self.lanes > 1:
+            value = lane_widen(value, inst.type, self.lanes)
         if isinstance(value, int):
             return repr(value)
         return self.runtime_const(value)
 
     def expr(self, inst):
         """RHS Python expression for a pure instruction."""
+        if self.lanes > 1:
+            return self._expr_lanes(inst)
         op = inst.opcode
         ops = inst.operands
         n = self.name
@@ -345,9 +369,13 @@ class UnitCompiler:
             return f"{n(ops[0])} & {hex(mask(inst.type.width))}"
         if op == "array":
             if inst.attrs.get("splat"):
-                return f"({n(ops[0])},) * {inst.type.length}"
-            return "(" + ", ".join(n(o) for o in ops) + ("," if len(ops) == 1
-                                                         else "") + ")"
+                expr = f"({n(ops[0])},) * {inst.type.length}"
+            else:
+                expr = "(" + ", ".join(n(o) for o in ops) + \
+                    ("," if len(ops) == 1 else "") + ")"
+            if inst.type.element.is_logic:
+                return f"_parr({expr})"
+            return expr
         if op == "struct":
             return "(" + ", ".join(n(o) for o in ops) + ("," if len(ops) == 1
                                                          else "") + ")"
@@ -373,6 +401,114 @@ class UnitCompiler:
                 return f"{arr}[{sel}]"
             return f"{arr}[{sel} if {sel} < {length} else {length - 1}]"
         raise SimulationError(f"blaze: cannot compile pure op {op}")
+
+    def _expr_lanes(self, inst):
+        """RHS expression for a pure instruction over lane-widened values.
+
+        Bitwise table ops, aggregate (re)packing, and static projections
+        are lane-exact and stay inline; every other op dispatches to the
+        shared lane evaluator (`_evl`), which takes the uniform fast path
+        or loops per lane.
+        """
+        op = inst.opcode
+        ops = inst.operands
+        n = self.name
+        if op == "const":
+            return self.const_expr(inst)
+        if op in ("and", "or", "xor"):
+            a, b = n(ops[0]), n(ops[1])
+            if ops[0].type.is_logic:
+                meth = {"and": "and_", "or": "or_", "xor": "xor"}[op]
+                return f"{a}.{meth}({b})"
+            if ops[0].type.is_int:
+                sym = {"and": "&", "or": "|", "xor": "^"}[op]
+                return f"{a} {sym} {b}"
+        elif op == "not":
+            if ops[0].type.is_logic:
+                return f"{n(ops[0])}.not_()"
+            if inst.type.is_int:
+                m = mask(inst.type.width * self.lanes)
+                return f"(~{n(ops[0])}) & {hex(m)}"
+        elif op == "array":
+            if inst.attrs.get("splat"):
+                expr = f"({n(ops[0])},) * {inst.type.length}"
+            else:
+                expr = "(" + ", ".join(n(o) for o in ops) + \
+                    ("," if len(ops) == 1 else "") + ")"
+            if inst.type.element.is_logic:
+                return f"_parr({expr})"
+            return expr
+        elif op == "struct":
+            return "(" + ", ".join(n(o) for o in ops) + ("," if len(ops) == 1
+                                                         else "") + ")"
+        elif op == "extf":
+            expr = self._extf_expr_lanes(inst)
+            if expr is not None:
+                return expr
+        elif op == "exts":
+            return self._exts_expr_lanes(inst)
+        elif op == "insf":
+            index = inst.attrs.get("index")
+            if index is not None:
+                agg, value = ops[0], ops[1]
+                return (f"{n(agg)}[:{index}] + ({n(value)},) + "
+                        f"{n(agg)}[{index + 1}:]")
+        elif op == "inss":
+            base, value = ops[0], ops[1]
+            step = path_of_lanes(inst, self.lanes)
+            return f"_insert({n(base)}, ({step!r},), {n(value)})"
+        elif op in ("add", "sub") and inst.type.is_int:
+            # SWAR add/sub: carries/borrows cannot cross lane
+            # boundaries once the per-lane MSB is cleared (add) or
+            # preset (sub); the MSB is patched back via XOR.
+            w = inst.type.width
+            ones = lane_ones(w, self.lanes)
+            high = (1 << (w - 1)) * ones
+            low = (mask(w) * ones) ^ high
+            a, b = n(ops[0]), n(ops[1])
+            if op == "add":
+                return (f"((({a} & {hex(low)}) + ({b} & {hex(low)})) ^ "
+                        f"(({a} ^ {b}) & {hex(high)}))")
+            return (f"((({a} | {hex(high)}) - ({b} & {hex(low)})) ^ "
+                    f"(({a} ^ {b}) & {hex(high)}) ^ {hex(high)})")
+        kern = lane_kernel(inst, self.lanes)
+        if kern is not None:
+            args = ", ".join(n(o) for o in ops)
+            return f"{self.runtime_const(kern)}({args})"
+        args = ", ".join(n(o) for o in ops)
+        tail = "," if len(ops) == 1 else ""
+        return f"_evl({self.runtime_const(inst)}, ({args}{tail}))"
+
+    def _extf_expr_lanes(self, inst):
+        base = inst.operands[0]
+        n = self.name
+        index = inst.attrs.get("index")
+        if base.type.is_signal or base.type.is_pointer:
+            proj = "_sigproj" if base.type.is_signal else "_cellproj"
+            if index is None:
+                iop = inst.operands[1]
+                if iop.type.is_logic:
+                    iexpr = f"_uidx({n(iop)})"
+                else:
+                    w = iop.type.width if iop.type.is_int else 1
+                    iexpr = f"_uidxi({n(iop)}, {w})"
+                return f"{proj}({n(base)}, ('field', {iexpr}))"
+            return f"{proj}({n(base)}, ('field', {index}))"
+        if index is not None:
+            # Aggregates hold lane-widened elements; static extraction is
+            # the plain element read.
+            return f"{n(base)}[{index}]"
+        return None  # dynamic value extraction: fall through to _evl
+
+    def _exts_expr_lanes(self, inst):
+        base = inst.operands[0]
+        n = self.name
+        step = path_of_lanes(inst, self.lanes)
+        if base.type.is_signal:
+            return f"_sigproj({n(base)}, {step!r})"
+        if base.type.is_pointer:
+            return f"_cellproj({n(base)}, {step!r})"
+        return f"_extract({n(base)}, ({step!r},))"
 
     def _extf_expr(self, inst):
         base = inst.operands[0]
@@ -438,6 +574,17 @@ class UnitCompiler:
         """Inline probe: direct ``.value`` read for whole signals."""
         s = self.name(inst.operands[0])
         return f"({s}.value if type({s}) is _Sig else probe({s}))"
+
+    def _call_expr(self, inst):
+        n = self.name
+        args = ", ".join(n(o) for o in inst.operands)
+        tail = "," if len(inst.operands) == 1 else ""
+        if self.lanes > 1:
+            # Lane-attributing intrinsics need the operand types to slice
+            # the batched arguments (see lanes.intrinsic_lanes).
+            tk = self.runtime_const(tuple(o.type for o in inst.operands))
+            return f"call({inst.callee!r}, ({args}{tail}), {tk})"
+        return f"call({inst.callee!r}, ({args}{tail}))"
 
 
 _BASE_GLOBALS["_lcmp"] = logic_compare
@@ -533,7 +680,14 @@ class ProcessCompiler(UnitCompiler):
             emitted = True
             if op == "drv":
                 cond = inst.drv_condition()
-                prefix = f"if {n(cond)}: " if cond is not None else ""
+                if cond is None:
+                    prefix = ""
+                elif self.lanes > 1:
+                    # Uniform-mode processes gate whole-batch drives on a
+                    # lane-agreeing condition (divergence -> replicate).
+                    prefix = f"if _u1({n(cond)}): "
+                else:
+                    prefix = f"if {n(cond)}: "
                 code.line(
                     f"{prefix}drive({n(inst.drv_signal())}, "
                     f"{n(inst.drv_value())}, {n(inst.drv_delay())})")
@@ -568,9 +722,7 @@ class ProcessCompiler(UnitCompiler):
                     "blaze: sig inside processes is not supported; "
                     "declare signals in the enclosing entity")
             elif op == "call":
-                args = ", ".join(n(o) for o in inst.operands)
-                tail = "," if len(inst.operands) == 1 else ""
-                target = f"call({inst.callee!r}, ({args}{tail}))"
+                target = self._call_expr(inst)
                 if inst.type.is_void:
                     code.line(target)
                 else:
@@ -610,6 +762,8 @@ class ProcessCompiler(UnitCompiler):
         n = self.name
         if inst.is_conditional_branch:
             cond = n(inst.operands[0])
+            if self.lanes > 1:
+                cond = f"_u1({cond})"
             f_dest, t_dest = inst.operands[1], inst.operands[2]
             code.line(f"if {cond}:")
             code.indent += 1
@@ -724,9 +878,7 @@ class EntityCompiler(UnitCompiler):
             elif op == "reg":
                 self._emit_reg(inst)
             elif op == "call":
-                args = ", ".join(n(o) for o in inst.operands)
-                tail = "," if len(inst.operands) == 1 else ""
-                target = f"call({inst.callee!r}, ({args}{tail}))"
+                target = self._call_expr(inst)
                 if inst.type.is_void:
                     activate.line(target)
                 else:
@@ -823,47 +975,55 @@ class CompiledUnit:
 class BlazeDesign(Design):
     """A Design with per-unit compilation caches."""
 
-    def __init__(self, module, top, kernel):
-        super().__init__(module, top, kernel)
+    def __init__(self, module, top, kernel, lanes=1, replicate=False,
+                 batch_units=None):
+        super().__init__(module, top, kernel, lanes, replicate, batch_units)
         self._compiled = {}
         self._functions = {}
 
-    def compiled(self, unit):
-        cu = self._compiled.get(id(unit))
+    def compiled(self, unit, lanes=1):
+        key = (id(unit), lanes)
+        cu = self._compiled.get(key)
         if cu is None:
             if unit.is_process:
-                cu = ProcessCompiler(unit).compile_process()
+                cu = ProcessCompiler(unit, lanes).compile_process()
             elif unit.is_function:
-                cu = ProcessCompiler(unit).compile_function()
+                cu = ProcessCompiler(unit, lanes).compile_function()
             else:
                 cu = EntityCompiler(unit).compile_entity()
-            self._compiled[id(unit)] = cu
+            self._compiled[key] = cu
         return cu
 
-    def call_function(self, name, args, where=""):
+    def call_function(self, name, args, where="", types=None):
         if name.startswith("llhd."):
+            if self.lanes > 1 and not self.replicate:
+                return intrinsic_lanes(
+                    self.kernel, name, list(args), types, self.lanes, where)
             return self.kernel.intrinsic(name, list(args), where)
-        entry = self._functions.get(name)
+        lanes = 1 if self.replicate else self.lanes
+        entry = self._functions.get((name, lanes))
         if entry is None:
             unit = self.module.get(name)
             if unit is None or isinstance(unit, UnitDecl):
                 raise SimulationError(f"call to undefined function @{name}")
             # Calls issued *from* @name carry its frame as context, the
             # same "in @name" the interpreter's function frames report.
-            entry = (self.compiled(unit).fn, self.caller(f"in @{name}"))
-            self._functions[name] = entry
+            entry = (self.compiled(unit, lanes).fn,
+                     self.caller(f"in @{name}"))
+            self._functions[(name, lanes)] = entry
         fn, inner_call = entry
         return fn(args, inner_call, self.kernel.intrinsic)
 
     def caller(self, where):
-        """A two-argument call hook carrying a fixed ``where`` context.
+        """A call hook carrying a fixed ``where`` context.
 
-        Generated code calls ``call(name, args)``; binding the context
-        here keeps intrinsic diagnostics (assertion messages) identical
-        to the interpreter's, which reports ``in <instance path>``.
+        Generated code calls ``call(name, args)`` (plus the operand types
+        in lane mode); binding the context here keeps intrinsic
+        diagnostics (assertion messages) identical to the interpreter's,
+        which reports ``in <instance path>``.
         """
-        def call(name, args):
-            return self.call_function(name, args, where)
+        def call(name, args, types=None):
+            return self.call_function(name, args, where, types)
         return call
 
 
@@ -880,7 +1040,8 @@ class BlazeProcessInstance(ProcessInstance):
 
     def bind(self):
         design = self.design
-        cu = design.compiled(self.unit)
+        cu = design.compiled(
+            self.unit, 1 if design.replicate else design.lanes)
         bindings = [None] * len(cu.slots)
         for arg in self.unit.args:
             bindings[cu.slots[id(arg)]] = _rt_resolve(self.env[id(arg)])
@@ -907,6 +1068,22 @@ class BlazeProcessInstance(ProcessInstance):
         self._subscribe(signals, timeout)
 
 
+class BlazeLaneProcessInstance(LaneProcessInstance):
+    """One lane's compiled replica (replicated batch mode).
+
+    Wake gating, lane attribution, and dead-lane handling come from the
+    interpreter's replica class; the execution body is the compiled
+    scalar generator over lane-projected bindings.
+    """
+
+    def __init__(self, design, unit, path, port_map, lane):
+        self._gen = None
+        super().__init__(design, unit, path, port_map, lane)
+
+    bind = BlazeProcessInstance.bind
+    _execute = BlazeProcessInstance._execute
+
+
 class BlazeEntityInstance(EntityInstance):
     """An entity whose re-activation is one compiled closure.
 
@@ -921,23 +1098,12 @@ class BlazeEntityInstance(EntityInstance):
         self._activate = None
         super().__init__(design, unit, path, port_map)
 
-    def _instantiate(self, inst):
-        callee = self.design.module.get(inst.callee)
-        if callee is None or isinstance(callee, UnitDecl):
-            raise SimulationError(
-                f"{self.path}: inst of undefined unit @{inst.callee}")
-        port_map = {}
-        operands = inst.inst_inputs() + inst.inst_outputs()
-        for arg, operand in zip(callee.args, operands):
-            port_map[id(arg)] = self.env[id(operand)]
-        child_path = f"{self.path}.{inst.callee}"
-        if callee.is_entity:
-            BlazeEntityInstance(self.design, callee, child_path, port_map)
-        else:
-            BlazeProcessInstance(self.design, callee, child_path, port_map)
-
     def bind(self):
         design = self.design
+        if design.lanes > 1:
+            # Entity bodies in batch mode run the interpreter's
+            # lane-vectorized plan (see ``run``); nothing to bind.
+            return
         cu = design.compiled(self.unit)
         bindings = [None] * len(cu.slots)
         for key, slot in cu.slots.items():
@@ -964,6 +1130,14 @@ class BlazeEntityInstance(EntityInstance):
             design.caller(f"in {self.path}"), kernel.intrinsic)
 
     def run(self, kernel):
+        if self.design.lanes > 1:
+            # Entity activations are data flow over batched values;
+            # the lane-vectorized interpreter plan handles per-lane
+            # divergence value-wise (per-lane reg fire masks, per-lane
+            # conditional drives), which straight-line compiled code
+            # cannot.  Processes stay compiled — they dominate runtime.
+            EntityInstance.run(self, kernel)
+            return
         fn = self._activate
         if fn is None:
             self.bind()
@@ -971,20 +1145,28 @@ class BlazeEntityInstance(EntityInstance):
         fn()
 
 
-def elaborate_compiled(module, top, kernel=None, trace=None):
+BlazeDesign.entity_class = BlazeEntityInstance
+BlazeDesign.process_class = BlazeProcessInstance
+BlazeDesign.lane_process_class = BlazeLaneProcessInstance
+
+
+def elaborate_compiled(module, top, kernel=None, trace=None, lanes=1,
+                       replicate=False, batch_units=None):
     """Elaborate ``module`` for compiled (Blaze) execution."""
     if kernel is None:
         kernel = Kernel(trace=trace)
+    kernel.lanes = lanes
     unit = module.get(top)
     if unit is None or isinstance(unit, UnitDecl):
         raise SimulationError(f"top unit @{top} is not defined")
     if not unit.is_entity:
         raise SimulationError(f"top unit @{top} must be an entity")
-    design = BlazeDesign(module, unit, kernel)
+    design = BlazeDesign(module, unit, kernel, lanes, replicate, batch_units)
     ports = {}
     for arg in unit.args:
         sig = design.create_signal(
-            f"{top}.{arg.name}", arg.type, default_value(arg.type.element))
+            f"{top}.{arg.name}", arg.type,
+            lane_default(arg.type.element, lanes))
         ports[id(arg)] = sig
     BlazeEntityInstance(design, unit, top, ports)
     design.finalize()

@@ -30,7 +30,10 @@ import heapq
 
 from ..ir.ninevalued import LogicVec
 from ..ir.units import UnitDecl
-from .engine import DriverTimeline, SignalInstance, SignalRef
+from .engine import (
+    DriverTimeline, Kernel, SignalInstance, SignalRef,
+    _combine_contributions,
+)
 from .values import (
     SimulationError, default_value, extract_path, insert_path,
 )
@@ -96,6 +99,12 @@ class CycleKernel:
         self.output = []
         self.finished = False
         self.stats = {"deltas": 0, "events": 0, "activations": 0}
+        # Batch (lane) attribution — same protocol as engine.Kernel.
+        self.lanes = 1
+        self.current_lane = None
+        self.finished_lanes = set()
+        self.lane_finish_fs = {}
+        self.lane_finish_state = {}
 
     # -- construction (same surface as engine.Kernel) ------------------------
 
@@ -162,19 +171,29 @@ class CycleKernel:
                 cond = int(cond.is_two_valued and cond.to_int() != 0)
             if not cond:
                 message = args[1] if len(args) > 1 else ""
-                self.assertion_failures.append(
-                    f"assertion failed at {self.now[0]}fs {where} "
-                    f"{message}".strip())
+                text = f"assertion failed at {self.now[0]}fs {where} " \
+                    f"{message}".strip()
+                if self.lanes > 1:
+                    self.assertion_failures.append((self.current_lane, text))
+                else:
+                    self.assertion_failures.append(text)
             return None
         if name == "llhd.print":
             from .values import format_value
 
-            self.output.append(" ".join(format_value(a) for a in args))
+            text = " ".join(format_value(a) for a in args)
+            if self.lanes > 1:
+                self.output.append((self.current_lane, text))
+            else:
+                self.output.append(text)
             return None
         if name == "llhd.finish":
-            self.finished = True
+            self.finish_lane()
             return None
         raise SimulationError(f"unknown intrinsic @{name}")
+
+    _lane_finish_snapshot = Kernel._lane_finish_snapshot
+    finish_lane = Kernel.finish_lane
 
     # -- main loop ---------------------------------------------------------------
 
@@ -229,22 +248,18 @@ class CycleKernel:
 
     def _mature(self, sig, now):
         old = sig.value
-        new = old
         due_all = []
         for timeline in sig.pending.values():
             entry = timeline.mature(now)
             if entry is not None:
                 due_all.append(entry)
-        due_all.sort(key=lambda t: len(t[0]))
-        resolved = None
-        for path, value in due_all:
-            if not path and isinstance(new, LogicVec) and \
-                    isinstance(value, LogicVec):
-                resolved = value if resolved is None \
-                    else resolved.resolve(value)
-                new = resolved
-            else:
-                new = insert_path(new, path, value)
+        if not due_all:
+            return False
+        if len(due_all) == 1:
+            path, value = due_all[0]
+            new = insert_path(old, path, value) if path else value
+        else:
+            new = _combine_contributions(old, due_all)
         if new == old:
             return False
         sig.value = new
@@ -253,22 +268,26 @@ class CycleKernel:
         return True
 
 
-def elaborate_cycle(module, top, kernel=None, trace=None):
+def elaborate_cycle(module, top, kernel=None, trace=None, lanes=1,
+                    replicate=False, batch_units=None):
     """Elaborate for the cycle simulator (compiled units, cycle kernel)."""
     from .blaze import BlazeDesign, BlazeEntityInstance
+    from .lanes import lane_default
 
     if kernel is None:
         kernel = CycleKernel(trace=trace)
+    kernel.lanes = lanes
     unit = module.get(top)
     if unit is None or isinstance(unit, UnitDecl):
         raise SimulationError(f"top unit @{top} is not defined")
     if not unit.is_entity:
         raise SimulationError(f"top unit @{top} must be an entity")
-    design = BlazeDesign(module, unit, kernel)
+    design = BlazeDesign(module, unit, kernel, lanes, replicate, batch_units)
     ports = {}
     for arg in unit.args:
         sig = design.create_signal(
-            f"{top}.{arg.name}", arg.type, default_value(arg.type.element))
+            f"{top}.{arg.name}", arg.type,
+            lane_default(arg.type.element, lanes))
         ports[id(arg)] = sig
     BlazeEntityInstance(design, unit, top, ports)
     design.finalize()

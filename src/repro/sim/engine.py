@@ -33,10 +33,52 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_left, bisect_right
 
-from ..ir.ninevalued import LogicVec
+from ..ir.ninevalued import LogicVec, resolve_many
 from .values import SimulationError, extract_path, insert_path
 
 ZERO_TIME = (0, 0, 0)
+
+
+def _combine_contributions(old, contributions):
+    """Merge same-instant drive transactions from several drivers.
+
+    Whole-signal drives apply first, then projected patches in ascending
+    path depth, so a same-instant patch of a slice wins over a
+    whole-signal drive.  Drivers hitting the *same* target — the whole
+    net, or the identical projection path — resolve (IEEE 1164) when the
+    driven values are lN, in a single N-way plane pass over all of them;
+    types without a resolution function keep last-driver-wins.
+    """
+    contributions.sort(key=lambda t: len(t[0]))
+    new = old
+    i = 0
+    count = len(contributions)
+    while i < count:
+        plen = len(contributions[i][0])
+        j = i + 1
+        while j < count and len(contributions[j][0]) == plen:
+            j += 1
+        if j - i == 1:
+            path, value = contributions[i]
+            new = insert_path(new, path, value)
+        else:
+            groups = {}
+            for k in range(i, j):
+                path, value = contributions[k]
+                group = groups.get(path)
+                if group is None:
+                    groups[path] = [value]
+                else:
+                    group.append(value)
+            for path, values in groups.items():
+                if len(values) == 1:
+                    new = insert_path(new, path, values[0])
+                elif all(type(v) is LogicVec for v in values):
+                    new = insert_path(new, path, resolve_many(values))
+                else:
+                    new = insert_path(new, path, values[-1])
+        i = j
+    return new
 
 # Event kinds in the kernel heap (ints compare faster than strings and
 # keep heap entries small).
@@ -257,6 +299,15 @@ class Kernel:
         self.stats = {"deltas": 0, "events": 0, "activations": 0}
         # Hot-loop counters, folded into `stats` when `run` returns.
         self._deltas = self._events = self._activations = 0
+        # Batch (lane) attribution; see repro.sim.lanes.  When lanes > 1,
+        # assertion/print entries become (lane, text) tuples — lane None
+        # means "all lanes" — and llhd.finish retires one lane at a time
+        # until every lane has finished.
+        self.lanes = 1
+        self.current_lane = None
+        self.finished_lanes = set()
+        self.lane_finish_fs = {}
+        self.lane_finish_state = {}
 
     # -- construction -------------------------------------------------------
 
@@ -423,24 +474,7 @@ class Kernel:
             path, value = single
             new = insert_path(old, path, value) if path else value
         else:
-            # Apply whole-signal drives first, then projected patches, so
-            # a same-instant patch of a slice wins over a whole-signal
-            # drive.
-            contributions.sort(key=lambda t: len(t[0]))
-            new = old
-            resolved_whole = None
-            for path, value in contributions:
-                if not path and isinstance(new, LogicVec) and \
-                        isinstance(value, LogicVec):
-                    # Multiple whole-net drivers of an lN net resolve
-                    # (IEEE 1164).
-                    if resolved_whole is None:
-                        resolved_whole = value
-                    else:
-                        resolved_whole = resolved_whole.resolve(value)
-                    new = resolved_whole
-                else:
-                    new = insert_path(new, path, value)
+            new = _combine_contributions(old, contributions)
         if new == old:
             return False
         sig.value = new
@@ -474,18 +508,64 @@ class Kernel:
             if not cond:
                 message = args[1] if len(args) > 1 else ""
                 t = self.now
-                self.assertion_failures.append(
-                    f"assertion failed at {t[0]}fs {where} {message}".strip())
+                text = f"assertion failed at {t[0]}fs {where} " \
+                    f"{message}".strip()
+                if self.lanes > 1:
+                    self.assertion_failures.append((self.current_lane, text))
+                else:
+                    self.assertion_failures.append(text)
             return None
         if name == "llhd.print":
             from .values import format_value
 
-            self.output.append(" ".join(format_value(a) for a in args))
+            text = " ".join(format_value(a) for a in args)
+            if self.lanes > 1:
+                self.output.append((self.current_lane, text))
+            else:
+                self.output.append(text)
             return None
         if name == "llhd.finish":
-            self.finished = True
+            self.finish_lane()
             return None
         raise SimulationError(f"unknown intrinsic @{name}")
+
+    def _lane_finish_snapshot(self):
+        """Signal name -> batched value at this very moment.
+
+        Captured when a lane finishes: a scalar run stops *mid-instant*
+        (no later delta round matures), while the batch kernel keeps
+        running other lanes through further rounds of the same
+        femtosecond.  The per-fs last-wins trace cannot recover the
+        earlier intra-instant state, so the demultiplexer rebuilds the
+        lane's final trace entry from this snapshot instead.
+        """
+        snap = {}
+        for sig in self.signals:
+            value = sig.find().value
+            for name in sig.aliases:
+                snap[name] = value
+        return snap
+
+    def finish_lane(self):
+        """Handle ``llhd.finish``: whole run, or just the current lane."""
+        if self.lanes > 1 and self.current_lane is not None:
+            k = self.current_lane
+            if k not in self.finished_lanes:
+                self.finished_lanes.add(k)
+                self.lane_finish_fs[k] = self.now[0]
+                self.lane_finish_state[k] = self._lane_finish_snapshot()
+            if len(self.finished_lanes) == self.lanes:
+                self.finished = True
+            return
+        if self.lanes > 1:
+            # Lane-uniform finish: every still-running lane ends here.
+            snap = self._lane_finish_snapshot()
+            for k in range(self.lanes):
+                if k not in self.finished_lanes:
+                    self.finished_lanes.add(k)
+                    self.lane_finish_fs[k] = self.now[0]
+                    self.lane_finish_state[k] = snap
+        self.finished = True
 
     def probe(self, target):
         """Read the current value of a signal or projection."""

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 from ..ir.ninevalued import LogicVec
 from .values import (
-    SimulationError, extract_path, from_signed, insert_path, mask, to_signed,
+    SimulationError, extract_path, from_signed, insert_path, mask,
+    pack_array, to_signed,
 )
 
 
@@ -300,8 +301,12 @@ def _eval_trunc(inst, operands):
 
 def _eval_array(inst, operands):
     if inst.attrs.get("splat"):
-        return tuple(operands[0] for _ in range(inst.type.length))
-    return tuple(operands)
+        elems = tuple(operands[0] for _ in range(inst.type.length))
+    else:
+        elems = tuple(operands)
+    if inst.type.element.is_logic:
+        return pack_array(elems)
+    return elems
 
 
 def _eval_struct(inst, operands):

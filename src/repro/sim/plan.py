@@ -23,14 +23,21 @@ Python code is generated); it is the classic predecoded-bytecode layout.
 
 from __future__ import annotations
 
+from ..ir.ninevalued import LogicVec, lane_ones
 from ..ir.values import TimeValue
 from .engine import SignalInstance, SignalRef
 from .eval import (
     EVALUATORS, _logic_binary, logic_compare, logic_level, logic_shift,
     path_of,
 )
+from .lanes import (
+    LaneDivergence, drive_cond_lanes, evaluate_lanes, lane_path,
+    path_of_lanes, u1, uindex, uindex_int,
+)
+from .lanes import edge_mask as lane_edge_mask
 from .values import (
-    SimulationError, extract_path, insert_path, mask, to_signed,
+    SimulationError, extract_path, insert_path, lane_extract, lane_widen,
+    mask, to_signed,
 )
 
 _EPSILON = TimeValue(0, 0, 1)
@@ -115,7 +122,9 @@ class _Timeout:
     def run(self, kernel):
         if self.proc.status == "waiting" and \
                 self.proc.wait_token == self.token:
-            self.proc.run(kernel)
+            # timed_out=True: lane-replicated processes must not apply
+            # their change-detection wake gate to a timeout resume.
+            self.proc.run(kernel, True)
 
 
 # -- step builders -------------------------------------------------------------
@@ -538,6 +547,253 @@ def _reg_step(inst, kernel):
     return step
 
 
+# -- lane-mode step builders ---------------------------------------------------
+#
+# When a design is elaborated with K > 1 lanes in *vectorized* mode, every
+# runtime value is lane-widened (see repro.sim.lanes) and one activation
+# covers all K lanes.  Bitwise table ops stay inline (they are lane-exact
+# on widened planes); everything else goes through evaluate_lanes, whose
+# uniformity fast path keeps the per-activation cost near scalar for
+# identical-stimulus batches.  Control points (branch conditions, signal
+# projections by dynamic index) collapse through u1/uindex and raise
+# LaneDivergence when lanes disagree — the batch driver then re-runs the
+# design with per-lane replicated processes (which use the *scalar* plans).
+
+def _pure_step_lanes(inst, lanes):
+    op = inst.opcode
+    key = id(inst)
+    if op == "const":
+        value = lane_widen(inst.attrs["value"], inst.type, lanes)
+
+        def step(env, act):
+            env[key] = value
+        return step
+    ops = inst.operands
+    opids = tuple(id(o) for o in ops)
+    if len(ops) == 2 and op in ("and", "or", "xor"):
+        a, b = opids
+        if ops[0].type.is_logic:
+            if op == "and":
+                def step(env, act):
+                    env[key] = env[a].and_(env[b])
+            elif op == "or":
+                def step(env, act):
+                    env[key] = env[a].or_(env[b])
+            else:
+                def step(env, act):
+                    env[key] = env[a].xor(env[b])
+            return step
+        if ops[0].type.is_int:
+            if op == "and":
+                def step(env, act):
+                    env[key] = env[a] & env[b]
+            elif op == "or":
+                def step(env, act):
+                    env[key] = env[a] | env[b]
+            else:
+                def step(env, act):
+                    env[key] = env[a] ^ env[b]
+            return step
+    if op == "not" and ops:
+        a = opids[0]
+        if ops[0].type.is_logic:
+            def step(env, act):
+                env[key] = env[a].not_()
+            return step
+        if inst.type.is_int:
+            m = mask(inst.type.width * lanes)
+
+            def step(env, act):
+                env[key] = (~env[a]) & m
+            return step
+    if op not in EVALUATORS:
+        raise SimulationError(f"plan: not a pure instruction: {op}")
+    if len(opids) == 1:
+        a = opids[0]
+
+        def step(env, act):
+            env[key] = evaluate_lanes(inst, (env[a],), lanes)
+    elif len(opids) == 2:
+        a, b = opids
+
+        def step(env, act):
+            env[key] = evaluate_lanes(inst, (env[a], env[b]), lanes)
+    else:
+        def step(env, act):
+            env[key] = evaluate_lanes(
+                inst, [env[i] for i in opids], lanes)
+    return step
+
+
+def _ext_step_lanes(inst, kernel, lanes):
+    """Lane-mode extf/exts.
+
+    Projections through signals and pointers build one reference, so a
+    dynamic index must be lane-uniform; int/logic ``exts`` paths become
+    per-lane ``lslice`` steps.  Extractions from plain *values* go
+    through evaluate_lanes, which handles a lane-divergent dynamic index
+    per lane (data divergence).
+    """
+    key = id(inst)
+    base = inst.operands[0]
+    bid = id(base)
+    base_ty = base.type
+    rty = inst.type
+    if not base_ty.is_signal and not base_ty.is_pointer:
+        return _pure_step_lanes(inst, lanes)
+    if inst.opcode == "extf" and inst.attrs.get("index") is None:
+        idx_ty = inst.operands[1].type
+        iid = id(inst.operands[1])
+
+        def dyn_index(value):
+            if isinstance(value, LogicVec):
+                return uindex(value, lanes)
+            return uindex_int(value, idx_ty.width if idx_ty.is_int
+                              else 1, lanes)
+        if base_ty.is_signal:
+            def step(env, act):
+                b = env[bid]
+                if type(b) is SignalInstance:
+                    b = SignalRef(b, (), b.type)
+                env[key] = b.project(("field", dyn_index(env[iid])), rty)
+        else:
+            def step(env, act):
+                env[key] = _as_cellref(env[bid]).project(
+                    ("field", dyn_index(env[iid])))
+        return step
+    if inst.opcode == "extf":
+        path_step = ("field", inst.attrs["index"])
+    else:
+        path_step = path_of_lanes(inst, lanes)
+    if base_ty.is_signal:
+        def step(env, act):
+            b = env[bid]
+            if type(b) is SignalInstance:
+                b = SignalRef(b, (), b.type)
+            env[key] = b.project(path_step, rty)
+    else:
+        def step(env, act):
+            env[key] = _as_cellref(env[bid]).project(path_step)
+    return step
+
+
+def _drv_step_lanes(inst, kernel, lanes, entity):
+    """Lane-mode drive.
+
+    Unconditional drives stay whole-width (one transaction covers all
+    lanes).  A *process* conditional drive collapses its condition with
+    u1 — lane-divergent process control re-runs replicated.  An *entity*
+    conditional drive is data flow (the mux-like enable may legitimately
+    diverge), so set lanes drive their lane projection under per-lane
+    driver keys.
+    """
+    sid = id(inst.drv_signal())
+    vid = id(inst.drv_value())
+    did = id(inst.drv_delay())
+    cond = inst.drv_condition()
+    if cond is None:
+        def step(env, act):
+            kernel.schedule_drive(act.order, env[sid], env[vid], env[did])
+        return step
+    cid = id(cond)
+    if not entity:
+        def step(env, act):
+            if u1(env[cid], lanes):
+                kernel.schedule_drive(
+                    act.order, env[sid], env[vid], env[did])
+        return step
+    inst_key = id(inst)
+    vty = inst.drv_value().type
+
+    def step(env, act):
+        drive_cond_lanes(
+            kernel, act.order, inst_key, env[sid], vty, env[vid],
+            env[did], env[cid], lanes)
+    return step
+
+
+def _call_step_lanes(inst, kernel, lanes):
+    key = id(inst)
+    callee = inst.callee
+    opids = tuple(id(o) for o in inst.operands)
+    types = tuple(o.type for o in inst.operands)
+    void = inst.type.is_void
+
+    def step(env, act):
+        result = act.functions.call(
+            callee, [env[i] for i in opids], where=f"in {act.path}",
+            types=types)
+        if not void:
+            env[key] = result
+    return step
+
+
+def _reg_step_lanes(inst, kernel, lanes, replicate):
+    """Lane-vectorized ``reg``: per-trigger lane fire masks.
+
+    Each trigger contributes an edge-detection lane mask (O(1) plane
+    arithmetic for the ubiquitous ``l1`` clock); lanes pick their first
+    matching trigger, scalar-style.  In vectorized mode the mask must be
+    all-or-nothing (a partial mask is control divergence: the whole-width
+    drive could not represent per-lane timelines) and fires one
+    whole-width transaction; in replicated mode — where stimulus phases
+    legitimately differ per lane — each firing lane drives its lane
+    projection under a per-lane driver key, so per-lane transport
+    timelines stay independent exactly like the scalar runs they mirror.
+    """
+    key = id(inst)
+    sig_id = id(inst.reg_signal())
+    vty = inst.reg_signal().type.element
+    full = lane_ones(1, lanes)
+    trigs = tuple(
+        (t["mode"], id(t["value"]), id(t["trigger"]),
+         id(t["cond"]) if t["cond"] is not None else None,
+         id(t["delay"]) if t["delay"] is not None else None,
+         t["trigger"].type)
+        for t in inst.reg_triggers())
+
+    def step(env, act):
+        prev_list = act.reg_state[key]
+        fired = 0
+        for i, (mode, vid, tid, cid, did, tty) in enumerate(trigs):
+            cur = env[tid]
+            prev = prev_list[i]
+            prev_list[i] = cur
+            if fired == full:
+                continue
+            hit = lane_edge_mask(mode, prev, cur, tty, lanes)
+            if cid is not None:
+                hit &= env[cid]
+            hit &= ~fired & full
+            if not hit:
+                continue
+            fired |= hit
+            delay = env[did] if did is not None else _EPSILON
+            if not replicate:
+                if hit != full:
+                    raise LaneDivergence(
+                        "reg trigger fires on a strict subset of lanes")
+                kernel.schedule_drive(
+                    ("reg", act.order, key), env[sig_id], env[vid], delay)
+                continue
+            target = env[sig_id]
+            if type(target) is not SignalRef:
+                target = SignalRef(target, (), target.type)
+            value = env[vid]
+            m = hit
+            while m:
+                low = m & -m
+                k = low.bit_length() - 1
+                m ^= low
+                ref = SignalRef(
+                    target.signal,
+                    target.path + lane_path(vty, k, lanes), vty)
+                kernel.schedule_drive(
+                    ("reg", act.order, key, k), ref,
+                    lane_extract(value, vty, k, lanes), delay)
+    return step
+
+
 _STEP_BUILDERS = {
     "prb": _prb_step,
     "drv": _drv_step,
@@ -552,7 +808,7 @@ _STEP_BUILDERS = {
 }
 
 
-def _step_for(inst, allowed, where, kernel):
+def _step_for(inst, allowed, where, kernel, lanes=1, entity=False):
     op = inst.opcode
     if op == "free":
         return None
@@ -560,8 +816,17 @@ def _step_for(inst, allowed, where, kernel):
     if builder is not None:
         if op not in allowed:
             raise SimulationError(f"{where}: '{op}' not allowed here")
+        if lanes > 1:
+            if op in ("extf", "exts"):
+                return _ext_step_lanes(inst, kernel, lanes)
+            if op == "drv":
+                return _drv_step_lanes(inst, kernel, lanes, entity)
+            if op == "call":
+                return _call_step_lanes(inst, kernel, lanes)
         return builder(inst, kernel)
     if op in EVALUATORS:
+        if lanes > 1:
+            return _pure_step_lanes(inst, lanes)
         return _pure_step(inst)
     raise SimulationError(f"{where}: '{op}' not allowed here")
 
@@ -582,13 +847,24 @@ def _apply_copies(env, copies):
         env[d] = v
 
 
-def _term_br(inst, block, plans, kernel):
+def _term_br(inst, block, plans, kernel, lanes=1):
     if inst.is_conditional_branch:
         cid = id(inst.operands[0])
         f_dest, t_dest = inst.operands[1], inst.operands[2]
         t_plan, f_plan = plans[id(t_dest)], plans[id(f_dest)]
         t_copies = _edge_copies(block, t_dest)
         f_copies = _edge_copies(block, f_dest)
+        if lanes > 1:
+            # Control point: all lanes must take the same edge.
+            def term(env, act):
+                if u1(env[cid], lanes):
+                    if t_copies:
+                        _apply_copies(env, t_copies)
+                    return t_plan
+                if f_copies:
+                    _apply_copies(env, f_copies)
+                return f_plan
+            return term
         if not t_copies and not f_copies:
             def term(env, act):
                 return t_plan if env[cid] else f_plan
@@ -617,7 +893,7 @@ def _term_br(inst, block, plans, kernel):
     return term
 
 
-def _term_wait(inst, block, plans, kernel):
+def _term_wait(inst, block, plans, kernel, lanes=1):
     dest = inst.wait_dest()
     dest_plan = plans[id(dest)]
     copies = _edge_copies(block, dest)
@@ -647,14 +923,14 @@ def _term_wait(inst, block, plans, kernel):
     return term
 
 
-def _term_halt(inst, block, plans, kernel):
+def _term_halt(inst, block, plans, kernel, lanes=1):
     def term(env, act):
         act.status = "halted"
         return None
     return term
 
 
-def _term_ret(inst, block, plans, kernel):
+def _term_ret(inst, block, plans, kernel, lanes=1):
     if inst.operands:
         vid = id(inst.operands[0])
 
@@ -680,7 +956,7 @@ _ENTITY_OPS = frozenset({"prb", "drv", "call", "extf", "exts"})
 _FUNC_OPS = frozenset({"var", "alloc", "ld", "st", "call", "extf", "exts"})
 
 
-def _build_cfg_plan(unit, allowed, terms, kind, kernel):
+def _build_cfg_plan(unit, allowed, terms, kind, kernel, lanes=1):
     where = f"@{unit.name}"
     plans = {id(b): BlockPlan() for b in unit.blocks}
     for block in unit.blocks:
@@ -691,7 +967,7 @@ def _build_cfg_plan(unit, allowed, terms, kind, kernel):
         phis = block.phis()
         steps = []
         for inst in instructions[len(phis):-1]:
-            step = _step_for(inst, allowed, where, kernel)
+            step = _step_for(inst, allowed, where, kernel, lanes)
             if step is not None:
                 steps.append(step)
         plan.steps = tuple(steps)
@@ -700,21 +976,23 @@ def _build_cfg_plan(unit, allowed, terms, kind, kernel):
         if builder is None:
             raise SimulationError(
                 f"{where}: '{term_inst.opcode}' not allowed in {kind}")
-        plan.term = builder(term_inst, block, plans, kernel)
+        plan.term = builder(term_inst, block, plans, kernel, lanes)
     return plans[id(unit.entry)]
 
 
-def build_process_plan(unit, kernel):
+def build_process_plan(unit, kernel, lanes=1):
     """Predecode a process unit; returns the entry :class:`BlockPlan`.
 
     One plan serves every instance of the unit: steps key the environment
-    by instruction identity, which is shared across instances.
+    by instruction identity, which is shared across instances.  With
+    ``lanes`` > 1 the plan executes all K batch lanes per activation
+    (lane-vectorized mode — see :mod:`repro.sim.lanes`).
     """
     return _build_cfg_plan(unit, _PROC_OPS, _TERM_BUILDERS, "a process",
-                           kernel)
+                           kernel, lanes)
 
 
-def build_function_plan(unit, kernel):
+def build_function_plan(unit, kernel, lanes=1):
     """Predecode a function body; returns the entry :class:`BlockPlan`.
 
     Functions run to a ``ret``: the frame object passed as the activity
@@ -722,15 +1000,17 @@ def build_function_plan(unit, kernel):
     """
     return _build_cfg_plan(
         unit, _FUNC_OPS, {"br": _term_br, "ret": _term_ret}, "a function",
-        kernel)
+        kernel, lanes)
 
 
-def build_entity_plan(unit, kernel):
+def build_entity_plan(unit, kernel, lanes=1, replicate=False):
     """Predecode an entity body's re-activation steps.
 
     Elaboration-only instructions (``sig``, ``inst``, ``con``) are
     skipped; ``del`` re-drives, ``reg`` detects trigger edges, everything
-    else re-evaluates dataflow.
+    else re-evaluates dataflow.  Entities stay lane-vectorized in *both*
+    batch modes; ``replicate`` only switches ``reg`` to per-lane driver
+    keys (divergent stimulus phases need per-lane drive timelines).
     """
     where = f"@{unit.name}"
     steps = []
@@ -741,9 +1021,14 @@ def build_entity_plan(unit, kernel):
         if op == "del":
             steps.append(_del_step(inst, kernel))
         elif op == "reg":
-            steps.append(_reg_step(inst, kernel))
+            if lanes > 1:
+                steps.append(_reg_step_lanes(inst, kernel, lanes,
+                                             replicate))
+            else:
+                steps.append(_reg_step(inst, kernel))
         else:
-            step = _step_for(inst, _ENTITY_OPS, where, kernel)
+            step = _step_for(inst, _ENTITY_OPS, where, kernel, lanes,
+                             entity=True)
             if step is not None:
                 steps.append(step)
     return tuple(steps)

@@ -7,24 +7,188 @@ Mapping from LLHD types to Python runtime values:
 ``nN``     ``int`` (0 .. N-1)
 ``lN``     :class:`repro.ir.LogicVec`
 ``time``   :class:`repro.ir.TimeValue`
-array      ``tuple`` of element values
+array      ``tuple`` of element values, or a
+           :class:`PackedLogicArray` when the element
+           type is ``lN``
 struct     ``tuple`` of field values
 =========  ==========================================
 
 All values are immutable, so aggregates can be compared and traced without
 defensive copies.  Sub-signal projections (``extf``/``exts`` through ``$``)
 are realized as *paths*: sequences of ``("field", i)`` / ``("slice", off,
-len)`` steps that this module can read from and write into whole values.
+len, kind)`` steps that this module can read from and write into whole
+values.
+
+Arrays of ``lN`` are *plane-packed*: :class:`PackedLogicArray` stores all
+elements in one :class:`LogicVec`, so a sub-signal drive into one element
+is a single O(1) ``splice`` instead of a Python tuple rebuild, and whole-
+value equality (the hot test in transaction maturation and tracing) is a
+plane comparison.  The class implements the tuple protocol (indexing,
+slicing, concatenation, equality against plain tuples), so existing
+consumers need no changes.
+
+Batch simulation adds two lane-aware steps (see :mod:`repro.sim.lanes`
+for the layout): ``("lane", k, K, ty)`` projects one stimulus lane out of
+a lane-widened value, and ``("lslice", off, len, kind, K, parent_width)``
+reads/writes a scalar bit-slice across *all* lanes of a lane-widened
+int/logic value.
 """
 
 from __future__ import annotations
 
-from ..ir.ninevalued import LogicVec
+from ..ir.ninevalued import (
+    LogicVec, lane_broadcast, lane_ones, lane_slice, lane_splice,
+    lane_uniform,
+)
+from ..ir.types import bit_width
 from ..ir.values import TimeValue
 
 
 class SimulationError(Exception):
     """Raised for runtime errors during simulation (e.g. division by zero)."""
+
+
+class PackedLogicArray:
+    """An immutable array of same-width ``lN`` values, plane-packed.
+
+    Element ``i`` occupies bits ``[i*W, (i+1)*W)`` of a single backing
+    :class:`LogicVec` (element 0 at the LSB end, matching the LSB-based
+    offsets of array slice paths).  Behaves like a tuple of
+    :class:`LogicVec` for indexing, slicing, iteration, concatenation,
+    and equality — including equality against actual tuples — while
+    element insertion and whole-array comparison are O(1) plane ops.
+    """
+
+    __slots__ = ("_data", "_length", "_width")
+
+    def __init__(self, data, length, width):
+        self._data = data      # one LogicVec of length*width bits
+        self._length = length
+        self._width = width
+
+    @classmethod
+    def from_elements(cls, elements):
+        """Pack a sequence of equal-width ``LogicVec`` elements."""
+        elements = tuple(elements)
+        if not elements:
+            return ()
+        width = elements[0]._width
+        val = unk = weak = aux = 0
+        for i, e in enumerate(elements):
+            sh = i * width
+            val |= e._val << sh
+            unk |= e._unk << sh
+            weak |= e._weak << sh
+            aux |= e._aux << sh
+        data = LogicVec._make(len(elements) * width, val, unk, weak, aux)
+        return cls(data, len(elements), width)
+
+    @property
+    def data(self):
+        """The backing :class:`LogicVec` (all elements, planes packed)."""
+        return self._data
+
+    @property
+    def elem_width(self):
+        return self._width
+
+    def __len__(self):
+        return self._length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step != 1:
+                return tuple(self[i] for i in range(start, stop, step))
+            n = max(0, stop - start)
+            if n == 0:
+                return ()
+            return PackedLogicArray(
+                self._data.slice_(start * self._width, n * self._width),
+                n, self._width)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        return self._data.slice_(index * self._width, self._width)
+
+    def __iter__(self):
+        for i in range(self._length):
+            yield self[i]
+
+    def with_item(self, index, value):
+        """A copy with element ``index`` replaced — one plane splice."""
+        return PackedLogicArray(
+            self._data.splice(index * self._width, value),
+            self._length, self._width)
+
+    def with_slice(self, offset, values):
+        """A copy with ``values`` written at element ``offset``."""
+        out = self._data
+        if isinstance(values, PackedLogicArray):
+            return PackedLogicArray(
+                out.splice(offset * self._width, values._data),
+                self._length, self._width)
+        for i, v in enumerate(values):
+            out = out.splice((offset + i) * self._width, v)
+        return PackedLogicArray(out, self._length, self._width)
+
+    def __add__(self, other):
+        if isinstance(other, PackedLogicArray):
+            if self._length == 0:
+                return other
+            # other holds the *higher-index* elements.
+            return PackedLogicArray(
+                other._data.concat(self._data),
+                self._length + other._length, self._width)
+        other = tuple(other)
+        if not other:
+            return self
+        if all(type(v) is LogicVec and v._width == self._width
+               for v in other):
+            packed = PackedLogicArray.from_elements(other)
+            return self.__add__(packed)
+        return tuple(self) + other
+
+    def __radd__(self, other):
+        other = tuple(other)
+        if not other:
+            return self
+        if all(type(v) is LogicVec and v._width == self._width
+               for v in other):
+            return PackedLogicArray.from_elements(other).__add__(self)
+        return other + tuple(self)
+
+    def __eq__(self, other):
+        if isinstance(other, PackedLogicArray):
+            return (self._length == other._length
+                    and self._width == other._width
+                    and self._data == other._data)
+        if isinstance(other, tuple):
+            return self._length == len(other) and \
+                all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __hash__(self):
+        # Must agree with the equal tuple of elements.
+        return hash(tuple(self))
+
+    def __repr__(self):
+        return f"PackedLogicArray({list(self)!r})"
+
+
+def pack_array(elements):
+    """Pack a tuple of values into a :class:`PackedLogicArray` if possible.
+
+    Used by the ``array`` evaluators/codegen: arrays of ``lN`` pack,
+    everything else stays a plain tuple.
+    """
+    elements = tuple(elements)
+    if elements and all(type(v) is LogicVec for v in elements):
+        w = elements[0]._width
+        if all(v._width == w for v in elements):
+            return PackedLogicArray.from_elements(elements)
+    return elements
 
 
 def default_value(ty):
@@ -36,6 +200,9 @@ def default_value(ty):
     if ty.is_time:
         return TimeValue(0)
     if ty.is_array:
+        if ty.element.is_logic and ty.length:
+            return PackedLogicArray.from_elements(
+                [LogicVec.filled("U", ty.element.width)] * ty.length)
         return tuple(default_value(ty.element) for _ in range(ty.length))
     if ty.is_struct:
         return tuple(default_value(f) for f in ty.fields)
@@ -60,17 +227,148 @@ def from_signed(value, width):
     return value & mask(width)
 
 
+# -- lane layout primitives ---------------------------------------------------
+#
+# Batch simulation widens every value across K stimulus lanes; see
+# module docstring and repro.sim.lanes.  These functions define the
+# packed layout per type; lanes==1 is always the identity.
+
+def lane_stride(ty):
+    """The per-lane bit stride of a packed-int type (iN or nN)."""
+    if ty.is_int:
+        return ty.width
+    return bit_width(ty)
+
+
+def lane_widen(value, ty, lanes):
+    """Replicate a scalar runtime value into all K lanes."""
+    if lanes == 1:
+        return value
+    if ty.is_logic:
+        return lane_broadcast(value, lanes)
+    if ty.is_int or ty.is_enum:
+        return value * lane_ones(lane_stride(ty), lanes)
+    if ty.is_array:
+        elems = tuple(lane_widen(v, ty.element, lanes) for v in value)
+        if ty.element.is_logic:
+            return PackedLogicArray.from_elements(elems)
+        return elems
+    if ty.is_struct:
+        return tuple(lane_widen(v, f, lanes)
+                     for v, f in zip(value, ty.fields))
+    if ty.is_time:
+        return value
+    raise SimulationError(f"cannot lane-broadcast a value of type {ty}")
+
+
+def lane_extract(value, ty, lane, lanes):
+    """Extract lane ``lane``'s scalar value from a lane-widened value."""
+    if lanes == 1:
+        return value
+    if ty.is_logic:
+        return lane_slice(value, lane, ty.width)
+    if ty.is_int or ty.is_enum:
+        w = lane_stride(ty)
+        return (value >> (lane * w)) & mask(w)
+    if ty.is_array:
+        elems = tuple(lane_extract(v, ty.element, lane, lanes)
+                      for v in value)
+        if ty.element.is_logic:
+            return PackedLogicArray.from_elements(elems)
+        return elems
+    if ty.is_struct:
+        return tuple(lane_extract(v, f, lane, lanes)
+                     for v, f in zip(value, ty.fields))
+    if ty.is_time:
+        return value
+    raise SimulationError(f"cannot lane-extract a value of type {ty}")
+
+
+def lane_insert(value, ty, lane, lanes, scalar):
+    """A copy of a lane-widened value with lane ``lane`` set to ``scalar``."""
+    if lanes == 1:
+        return scalar
+    if ty.is_logic:
+        return lane_splice(value, lane, scalar)
+    if ty.is_int or ty.is_enum:
+        w = lane_stride(ty)
+        return (value & ~(mask(w) << (lane * w))) | \
+            ((scalar & mask(w)) << (lane * w))
+    if ty.is_array:
+        elems = tuple(
+            lane_insert(v, ty.element, lane, lanes, s)
+            for v, s in zip(value, scalar))
+        if ty.element.is_logic:
+            return PackedLogicArray.from_elements(elems)
+        return elems
+    if ty.is_struct:
+        return tuple(lane_insert(v, f, lane, lanes, s)
+                     for v, f, s in zip(value, ty.fields, scalar))
+    if ty.is_time:
+        return scalar
+    raise SimulationError(f"cannot lane-insert a value of type {ty}")
+
+
+def _lslice_read(value, offset, length, kind, lanes, pw):
+    """Read a scalar bit-slice across all lanes of a lane-widened value."""
+    if kind == "logic":
+        if lane_uniform(value, pw, lanes):
+            return lane_broadcast(
+                value.slice_(offset, length), lanes)
+        val = unk = weak = aux = 0
+        m = mask(length)
+        for k in range(lanes):
+            base = k * pw + offset
+            sh = k * length
+            val |= ((value._val >> base) & m) << sh
+            unk |= ((value._unk >> base) & m) << sh
+            weak |= ((value._weak >> base) & m) << sh
+            aux |= ((value._aux >> base) & m) << sh
+        return LogicVec._make(length * lanes, val, unk, weak, aux)
+    # int
+    m = mask(length)
+    lane0 = value & mask(pw)
+    if value == lane0 * lane_ones(pw, lanes):
+        return ((lane0 >> offset) & m) * lane_ones(length, lanes)
+    out = 0
+    for k in range(lanes):
+        out |= ((value >> (k * pw + offset)) & m) << (k * length)
+    return out
+
+
+def _lslice_write(value, offset, length, kind, lanes, pw, new):
+    """Write a lane-widened slice value into all lanes of the parent."""
+    if kind == "logic":
+        if lane_uniform(value, pw, lanes) and \
+                lane_uniform(new, length, lanes):
+            scalar = value.slice_(0, pw).splice(
+                offset, new.slice_(0, length))
+            return lane_broadcast(scalar, lanes)
+        out = value
+        for k in range(lanes):
+            out = out.splice(k * pw + offset,
+                             new.slice_(k * length, length))
+        return out
+    m = mask(length)
+    out = value
+    for k in range(lanes):
+        base = k * pw + offset
+        out = (out & ~(m << base)) | (((new >> (k * length)) & m) << base)
+    return out
+
+
 def extract_path(value, path):
     """Read the sub-value denoted by a projection path."""
     for step in path:
-        if step[0] == "field":
+        tag = step[0]
+        if tag == "field":
             index = step[1]
             if not 0 <= index < len(value):
                 raise SimulationError(
                     f"index {index} out of range for aggregate of "
                     f"{len(value)} elements")
             value = value[index]
-        else:  # ("slice", offset, length, kind)
+        elif tag == "slice":
             _, offset, length, kind = step
             if kind == "int":
                 value = (value >> offset) & mask(length)
@@ -79,6 +377,11 @@ def extract_path(value, path):
                 value = value.slice_(offset, length)
             else:  # array slice
                 value = value[offset:offset + length]
+        elif tag == "lane":
+            value = lane_extract(value, step[3], step[1], step[2])
+        else:  # ("lslice", offset, length, kind, lanes, parent_width)
+            _, offset, length, kind, lanes, pw = step
+            value = _lslice_read(value, offset, length, kind, lanes, pw)
     return value
 
 
@@ -87,28 +390,43 @@ def insert_path(value, path, new):
     if not path:
         return new
     step, rest = path[0], path[1:]
-    if step[0] == "field":
+    tag = step[0]
+    if tag == "field":
         index = step[1]
         if not 0 <= index < len(value):
             raise SimulationError(
                 f"index {index} out of range for aggregate of "
                 f"{len(value)} elements")
         inner = insert_path(value[index], rest, new)
+        if type(value) is PackedLogicArray:
+            return value.with_item(index, inner)
         return value[:index] + (inner,) + value[index + 1:]
-    _, offset, length, kind = step
-    if kind == "int":
-        inner = insert_path(extract_path(value, (step,)), rest, new)
-        cleared = value & ~(mask(length) << offset)
-        return cleared | ((inner & mask(length)) << offset)
-    if kind == "logic":
-        inner = insert_path(extract_path(value, (step,)), rest, new)
-        return value.splice(offset, inner)
-    inner = insert_path(value[offset:offset + length], rest, new)
-    return value[:offset] + tuple(inner) + value[offset + length:]
+    if tag == "slice":
+        _, offset, length, kind = step
+        if kind == "int":
+            inner = insert_path(extract_path(value, (step,)), rest, new)
+            cleared = value & ~(mask(length) << offset)
+            return cleared | ((inner & mask(length)) << offset)
+        if kind == "logic":
+            inner = insert_path(extract_path(value, (step,)), rest, new)
+            return value.splice(offset, inner)
+        inner = insert_path(value[offset:offset + length], rest, new)
+        if type(value) is PackedLogicArray:
+            return value.with_slice(offset, inner)
+        return value[:offset] + tuple(inner) + value[offset + length:]
+    if tag == "lane":
+        _, lane, lanes, ty = step
+        inner = insert_path(
+            lane_extract(value, ty, lane, lanes), rest, new)
+        return lane_insert(value, ty, lane, lanes, inner)
+    # ("lslice", offset, length, kind, lanes, parent_width)
+    _, offset, length, kind, lanes, pw = step
+    inner = insert_path(extract_path(value, (step,)), rest, new)
+    return _lslice_write(value, offset, length, kind, lanes, pw, inner)
 
 
 def format_value(value):
     """Human-readable form for traces: aggregates bracketed, ints decimal."""
-    if isinstance(value, tuple):
+    if isinstance(value, (tuple, PackedLogicArray)):
         return "[" + ", ".join(format_value(v) for v in value) + "]"
     return str(value)

@@ -34,7 +34,11 @@ from repro.ir import Builder, Module, verify_module
 from repro.ir.ninevalued import LogicVec, VALUES
 from repro.ir.units import Entity, Process
 from repro.ir.values import TimeValue
-from repro.sim import simulate
+from repro.sim import simulate, simulate_batch
+from repro.sim.stimulus import (
+    design_driven_names, inject_batch_stimulus, inject_lane_stimulus,
+    inject_stimulus, random_logic_text,
+)
 from repro.sim.values import SimulationError
 
 # Small budgets shared with the staged semantic-preservation harness
@@ -72,63 +76,10 @@ def test_cycle_traces_match(name):
 
 BACKENDS = ("interp", "blaze", "cycle")
 
-#: Biased nine-valued alphabet: mostly two-valued so the designs keep
-#: making progress, with enough X/Z/L/H/W/U/- to stress the planes.
-_FUZZ_ALPHABET = "0011" * 4 + "XZLHWU-"
-
-
-def _random_logic_text(rng, width):
-    return "".join(rng.choice(_FUZZ_ALPHABET) for _ in range(width))
-
-
-def _inject_stimulus(module, top_name, seed, waves=6, drives_per_wave=3,
-                     exclude_names=frozenset()):
-    """Splice a randomized stimulus process into the design's top entity.
-
-    Drives random values — nine-valued strings with X/Z/L/H/W/U/-
-    injections on ``lN`` nets, random integers on ``iN`` nets — onto up
-    to four of the top's internal signals at randomized times.  Returns
-    True if any signal was targeted.  Built from ``Random(seed)`` only,
-    so every backend sees a byte-identical module.  ``exclude_names``
-    removes nets from the target pool (e.g. design-driven outputs, whose
-    multi-driver conflicts are not preserved across the drv → con
-    rewrite of the technology mapper).
-    """
-    rng = random.Random(seed)
-    top = module.get(top_name)
-    # Keyed by signal *name*, not body position: the same seed must pick
-    # the same nets before and after the lowering pipeline ran cleanup
-    # over the entity body (which may renumber or drop instructions).
-    candidates = sorted(
-        (inst for inst in top.body if inst.opcode == "sig"
-         and inst.name is not None and inst.name not in exclude_names
-         and (inst.type.element.is_int or inst.type.element.is_logic)),
-        key=lambda inst: inst.name)
-    if not candidates:
-        return False
-    targets = rng.sample(candidates, min(len(candidates), 4))
-    proc = Process("__fuzz_stim__", (), (), [s.type for s in targets],
-                   [f"t{i}" for i in range(len(targets))])
-    module.add(proc)
-    blocks = [proc.create_block(f"wave{i}") for i in range(waves + 1)]
-    b = Builder.at_end(blocks[0])
-    for wave, block in enumerate(blocks[:-1]):
-        b.set_insert_point(block)
-        for _ in range(drives_per_wave):
-            target = rng.choice(proc.outputs)
-            elem = target.type.element
-            if elem.is_logic:
-                value = b.const_logic(_random_logic_text(rng, elem.width))
-            else:
-                value = b.const_int(elem, rng.getrandbits(elem.width))
-            delay = b.const_time(TimeValue(rng.randrange(1, 4) * 500_000))
-            b.drv(target, value, delay)
-        pause = b.const_time(TimeValue(rng.randrange(1, 5) * 1_000_000))
-        b.wait(blocks[wave + 1], pause, [])
-    b.set_insert_point(blocks[-1])
-    b.halt()
-    Builder.at_end(top.body).inst(proc, [], targets)
-    return True
+# The stimulus splicer lives in repro.sim.stimulus (shared with the CLI
+# and the benchmark harness); inject_stimulus keeps the original
+# single-rng semantics, so seeds reproduce historical runs byte for
+# byte.
 
 
 def _fuzz_run(module, top, backend):
@@ -153,8 +104,8 @@ def test_fuzzed_stimulus_keeps_engines_identical(name, seed):
     results = {}
     for backend in BACKENDS:
         module = compile_design(name, cycles=CYCLES[name])
-        injected = _inject_stimulus(module, DESIGNS[name].top,
-                                    seed=f"{name}:{seed}")
+        injected = inject_stimulus(module, DESIGNS[name].top,
+                                   seed=f"{name}:{seed}")
         assert injected, f"{name}: no injectable signals in top entity"
         verify_module(module)
         results[backend] = _fuzz_run(module, DESIGNS[name].top, backend)
@@ -212,7 +163,7 @@ def _random_logic_network(seed, n_sigs=4, n_ops=12, width=8, waves=8):
         for wave, block in enumerate(blocks[:-1]):
             pb.set_insert_point(block)
             for target in rng.sample(proc.outputs, rng.randrange(1, n_sigs)):
-                value = pb.const_logic(_random_logic_text(rng, width))
+                value = pb.const_logic(random_logic_text(rng, width))
                 pb.drv(target, value,
                        pb.const_time(TimeValue(rng.randrange(1, 4) * 250_000)))
             pb.wait(blocks[wave + 1],
@@ -225,27 +176,54 @@ def _random_logic_network(seed, n_sigs=4, n_ops=12, width=8, waves=8):
     return module
 
 
+# -- batched fuzz: N seeds as one K=N replicated pass --------------------------
+
+BATCH_FUZZ_LANES = 4
+
+
+@pytest.mark.parametrize("backend", ("interp", "blaze"))
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_batched_fuzz_matches_per_lane_scalar_runs(name, backend):
+    """N fuzz seeds as one K=N batched pass, demuxed and compared.
+
+    Each lane's demuxed trace, print output, assertion failures, and
+    finish time must be byte-identical to the scalar run of that lane's
+    stimulus — the batch engine's correctness contract.  Seeds whose
+    scalar run legally errors (hostile stimulus can reach a dynamic
+    index with X) are dropped before batching; the surviving seeds run
+    as one replicated-mode pass.
+    """
+    top = DESIGNS[name].top
+    lane_seeds = [f"{name}:{k}" for k in range(BATCH_FUZZ_LANES)]
+    refs = []
+    for lane_seed in lane_seeds:
+        module = compile_design(name, cycles=CYCLES[name])
+        if not inject_lane_stimulus(module, top, name, lane_seed):
+            pytest.skip(f"{name}: no injectable input nets")
+        refs.append((lane_seed, _fuzz_run(module, top, backend)))
+    good = [(s, r) for s, r in refs if r is not None]
+    if len(good) < 2:
+        pytest.skip(f"{name}: fewer than two non-erroring fuzz seeds")
+    module = compile_design(name, cycles=CYCLES[name])
+    stimulus = inject_batch_stimulus(module, top, name,
+                                     [s for s, _ in good])
+    assert stimulus is not None
+    verify_module(module)
+    batch = simulate_batch(module, top, len(good), backend=backend,
+                           stimulus=stimulus)
+    assert batch.mode == "replicated"
+    for k, (lane_seed, ref) in enumerate(good):
+        lane = batch.lane(k)
+        assert ref.trace.differences(lane.trace) == [], \
+            f"lane {k} ({lane_seed}): {ref.trace.differences(lane.trace)[:4]}"
+        assert ref.output == lane.output, f"lane {k} ({lane_seed})"
+        assert ref.assertion_failures == lane.assertion_failures, \
+            f"lane {k} ({lane_seed})"
+        assert ref.final_time_fs == lane.final_time_fs, \
+            f"lane {k} ({lane_seed})"
+
+
 # -- differential fuzz across the lowering pipeline ---------------------------
-
-
-def _design_driven_names(module, top_name):
-    """Names of top-level nets driven by design entities (or the top's
-    own continuous assigns): back-driving these has no physical
-    equivalent — the techmap turns those drives into net merges, where a
-    second driver resolves instead of being overwritten."""
-    top = module.get(top_name)
-    driven = set()
-    for inst in top.body:
-        if inst.opcode == "inst":
-            callee = module.get(inst.callee)
-            if callee is not None and getattr(callee, "is_entity", False):
-                driven.update(o.name for o in inst.inst_outputs()
-                              if o.name is not None)
-        elif inst.opcode == "drv":
-            target = inst.drv_signal()
-            if target.name is not None:
-                driven.add(target.name)
-    return frozenset(driven)
 
 
 @pytest.mark.parametrize("name", FOUR_STATE_ORDER)
@@ -269,8 +247,8 @@ def test_fuzzed_stimulus_survives_lowering_to_netlist(name):
 
     seed = f"{name}:lower"
     behavioural = compile_design(name, cycles=CYCLES[name])
-    exclude = _design_driven_names(behavioural, DESIGNS[name].top)
-    if not _inject_stimulus(behavioural, DESIGNS[name].top, seed=seed,
+    exclude = design_driven_names(behavioural, DESIGNS[name].top)
+    if not inject_stimulus(behavioural, DESIGNS[name].top, seed=seed,
                             exclude_names=exclude):
         pytest.skip(f"{name}: no injectable input nets")
     verify_module(behavioural)
@@ -280,7 +258,7 @@ def test_fuzzed_stimulus_survives_lowering_to_netlist(name):
     # injected *before* lowering and rides through the pipeline like any
     # other testbench process (rejected by deseq/PL, left behavioural).
     lowered = compile_design(name, cycles=CYCLES[name])
-    assert _inject_stimulus(lowered, DESIGNS[name].top, seed=seed,
+    assert inject_stimulus(lowered, DESIGNS[name].top, seed=seed,
                             exclude_names=exclude)
     lower_to_structural(lowered, strict=False, verify=False)
     linked = netlist_design(lowered)
