@@ -746,7 +746,11 @@ class _MapContext:
         cell = _cell(self.out, self.library, "buf", [elem], elem,
                      self.delay)
         init = self.clone_const_tree(t_init)
-        result = self.builder.sig(init)
+        # Name the alias net after the target it re-initializes: lint
+        # locations stay readable after the drv -> con rewrite (the extra
+        # hierarchy dot keeps the target's own name the preferred label).
+        result = self.builder.sig(
+            init, name=f"{target.name}.buf" if target.name else None)
         self._owned.add(id(result))
         self._reseeded.add(id(result))
         self._sig_inits[id(result)] = init

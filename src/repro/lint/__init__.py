@@ -1,0 +1,142 @@
+"""``repro.lint`` — static hardware-safety analysis over LLHD modules.
+
+The ``llhd-check`` analogue: a :class:`~repro.lint.model.DesignModel`
+elaborates the module statically (nets, drivers, registers, zero-delay
+dependency edges) and three checker families run over it:
+
+* drive races (``RACE001``/``RACE002``, :mod:`repro.lint.races`),
+* zero-delay combinational loops (``LOOP001``, :mod:`repro.lint.loops`),
+* clock-domain crossings (``CDC001``/``CDC002``, :mod:`repro.lint.cdc`).
+
+Entry points: :func:`lint_module` (any module + top), :func:`lint_design`
+(a registered suite design at a chosen pipeline level), the
+``python -m repro.lint`` CLI (:mod:`repro.lint.__main__`), a cached
+``lint`` analysis, and a ``lint`` pass for ``repro.opt`` pipelines.
+Every static race/oscillation verdict is cross-checkable dynamically
+with ``python -m repro.sim --sanitize`` (:mod:`repro.sim.sanitize`).
+"""
+
+from __future__ import annotations
+
+from ..analysis import register_analysis
+from ..passes.manager import PRESERVE_ALL, ModulePass, register_pass
+from .cdc import check_cdc
+from .diagnostics import CODES, Baseline, Diagnostic, DiagnosticSet
+from .loops import check_loops
+from .model import DesignModel
+from .races import check_races
+
+#: The pipeline levels the CLI can lint a suite design at.
+LEVELS = ("behavioural", "structural", "netlist")
+
+
+def lint_module(module, top, unit=None):
+    """Run every checker on ``module`` elaborated from entity ``top``.
+
+    Returns a :class:`DiagnosticSet`.  ``unit`` labels the diagnostics
+    (defaults to the top name).
+    """
+    model = DesignModel(module, top)
+    return lint_model(model, unit=unit or top)
+
+
+def lint_model(model, unit=None):
+    """Run every checker on an existing :class:`DesignModel`."""
+    diagnostics = DiagnosticSet()
+    check_races(model, diagnostics, unit=unit)
+    check_loops(model, diagnostics, unit=unit)
+    check_cdc(model, diagnostics, unit=unit)
+    return diagnostics
+
+
+def root_entities(module):
+    """Entities no other unit instantiates (the elaboration roots)."""
+    from ..ir.units import UnitDecl
+
+    instantiated = set()
+    for unit in module:
+        if isinstance(unit, UnitDecl):
+            continue
+        for inst in unit.instructions():
+            if inst.opcode == "inst":
+                instantiated.add(inst.callee)
+    return [unit.name for unit in module
+            if not isinstance(unit, UnitDecl) and unit.is_entity
+            and unit.name not in instantiated]
+
+
+def lower_design_module(module, level):
+    """Lower a compiled behavioural module in place to ``level``.
+
+    Returns the module actually holding the requested level (netlist
+    lowering produces a fresh module).
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown level {level!r}; pick from {LEVELS}")
+    if level == "behavioural":
+        return module
+    from ..passes.pipeline import lower_to_structural
+
+    lower_to_structural(module, strict=False, verify=False)
+    if level == "structural":
+        return module
+    from ..interop import netlist_design
+
+    return netlist_design(module)
+
+
+def lint_design(name, level="behavioural", cycles=None):
+    """Compile suite design ``name``, lower to ``level``, and lint it."""
+    from ..designs import DESIGNS, compile_design
+
+    design = DESIGNS[name]
+    module = compile_design(name, cycles)
+    module = lower_design_module(module, level)
+    return lint_module(module, design.top, unit=f"{name}@{level}")
+
+
+# -- AnalysisManager / PassManager integration ---------------------------------
+
+
+def _lint_model_analysis(module):
+    """Cached per-module lint models, one per elaboration root."""
+    return {top: DesignModel(module, top)
+            for top in root_entities(module)}
+
+
+def _lint_analysis(module):
+    """Cached per-module diagnostics over every elaboration root."""
+    diagnostics = DiagnosticSet()
+    for top in root_entities(module):
+        diagnostics.extend(lint_module(module, top, unit=top))
+    return diagnostics
+
+
+register_analysis("lint-model", _lint_model_analysis)
+register_analysis("lint", _lint_analysis)
+
+
+@register_pass
+class LintPass(ModulePass):
+    """Report lint diagnostics as pass statistics (``repro.opt lint``).
+
+    Purely observational: requests the cached ``lint`` analysis, bumps
+    one counter per diagnostic code, and mutates nothing.
+    """
+
+    name = "lint"
+    preserves = PRESERVE_ALL
+
+    def run_on_module(self, module, am):
+        diagnostics = am.get("lint", module)
+        for diagnostic in diagnostics:
+            self.stat(diagnostic.code)
+        self.findings = diagnostics
+        return False
+
+
+__all__ = [
+    "CODES", "Baseline", "DesignModel", "Diagnostic", "DiagnosticSet",
+    "LEVELS", "LintPass", "lint_design", "lint_model", "lint_module",
+    "lower_design_module", "root_entities",
+]

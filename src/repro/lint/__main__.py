@@ -1,0 +1,179 @@
+"""``python -m repro.lint`` — the ``llhd-check`` static analyzer CLI.
+
+Lints ``.llhd`` files or suite designs for drive races, combinational
+loops, and clock-domain crossings::
+
+    python -m repro.lint design.llhd
+    python -m repro.lint --design fifo --level netlist
+    python -m repro.lint --all-designs --format json
+    python -m repro.lint --all-designs --baseline LINT_baseline.json
+    python -m repro.lint --all-designs --update-baseline base.json
+
+Input is either ``.llhd`` files (``-`` reads stdin; every elaboration
+root is linted) or named designs from the evaluation suite (``--design``
+/ ``--all-designs``), lowered to ``--level`` first.  Exit status: 0
+clean (or everything suppressed by ``--baseline``), 1 when fresh
+findings reach the ``--fail-on`` severity, 2 on usage/input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    LEVELS, Baseline, DiagnosticSet, lint_design, lint_module,
+    root_entities,
+)
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically check LLHD designs for races, "
+                    "combinational loops, and CDC hazards.")
+    parser.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help=".llhd input files ('-' reads stdin)")
+    parser.add_argument(
+        "--design", metavar="NAME", action="append", dest="designs",
+        help="lint a named design from the evaluation suite "
+             "(repeatable)")
+    parser.add_argument(
+        "--all-designs", action="store_true",
+        help="lint every design of the evaluation suite")
+    parser.add_argument(
+        "--level", default="behavioural", choices=LEVELS,
+        help="pipeline level to lower suite designs to before linting "
+             "(default: behavioural)")
+    parser.add_argument(
+        "--cycles", type=int, default=None, metavar="N",
+        help="testbench cycle count for suite designs")
+    parser.add_argument(
+        "-t", "--top", metavar="NAME",
+        help="lint only this entity of a file input (default: every "
+             "elaboration root)")
+    parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report format (default: text)")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in this baseline file")
+    parser.add_argument(
+        "--update-baseline", metavar="FILE",
+        help="write all findings to FILE as the new baseline and exit 0")
+    parser.add_argument(
+        "--fail-on", default="warning", choices=("warning", "error"),
+        help="minimum severity of a fresh finding that fails the run "
+             "(default: warning — any finding fails)")
+    return parser
+
+
+def _lint_files(args, parser, err):
+    from ..ir import ParseError, parse_module
+
+    diagnostics = DiagnosticSet()
+    for path in args.files:
+        try:
+            if path == "-":
+                name, text = "<stdin>", sys.stdin.read()
+            else:
+                name = path
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+        except OSError as error:
+            err.write(f"{path}: cannot read: {error}\n")
+            return None
+        try:
+            module = parse_module(text, name=name)
+        except ParseError as error:
+            err.write(f"{name}: parse error: {error}\n")
+            return None
+        tops = [args.top] if args.top else root_entities(module)
+        if not tops:
+            err.write(f"{name}: no entity to lint\n")
+            return None
+        for top in tops:
+            try:
+                diagnostics.extend(lint_module(module, top, unit=top))
+            except Exception as error:
+                err.write(f"{name}: @{top}: lint failed: {error}\n")
+                return None
+    return diagnostics
+
+
+def _lint_designs(names, args, parser, err):
+    from ..designs import DESIGNS
+
+    diagnostics = DiagnosticSet()
+    for name in names:
+        if name not in DESIGNS:
+            parser.error(f"unknown design {name!r}; "
+                         f"see python -m repro.sim --list-designs")
+        try:
+            diagnostics.extend(
+                lint_design(name, level=args.level, cycles=args.cycles))
+        except Exception as error:
+            err.write(f"{name}@{args.level}: lint failed: {error}\n")
+            return None
+    return diagnostics
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    out, err = sys.stdout, sys.stderr
+
+    names = list(args.designs or ())
+    if args.all_designs:
+        from ..designs import ALL_DESIGNS
+
+        names.extend(n for n in ALL_DESIGNS if n not in names)
+    if args.files and names:
+        parser.error("give either .llhd files or --design/--all-designs, "
+                     "not both")
+    if not args.files and not names:
+        parser.error("no input: give .llhd files, --design NAME, or "
+                     "--all-designs")
+
+    if names:
+        diagnostics = _lint_designs(names, args, parser, err)
+    else:
+        diagnostics = _lint_files(args, parser, err)
+    if diagnostics is None:
+        return 2
+
+    if args.update_baseline:
+        Baseline.from_diagnostics(diagnostics).dump(args.update_baseline)
+        err.write(f"baseline: wrote {len(diagnostics)} finding(s) to "
+                  f"{args.update_baseline}\n")
+        return 0
+
+    suppressed = []
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, KeyError) as error:
+            err.write(f"{args.baseline}: cannot load baseline: {error}\n")
+            return 2
+        diagnostics, suppressed = diagnostics.suppress(baseline)
+
+    if args.format == "json":
+        out.write(diagnostics.render_json(suppressed=len(suppressed)))
+        out.write("\n")
+    else:
+        header = None
+        if suppressed:
+            header = f"# {len(suppressed)} finding(s) suppressed by " \
+                     f"{args.baseline}"
+        out.write(diagnostics.render_text(header=header))
+        out.write("\n")
+
+    failing = diagnostics.count("error")
+    if args.fail_on == "warning":
+        failing += diagnostics.count("warning")
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""CDC checkers: clock-domain-crossing discipline.
+
+Domains are inferred, not declared: every register target belongs to
+the domain of its own clock net(s); domains then propagate through the
+zero-delay combinational edges to a fixpoint.  Testbench stimulus and
+primary inputs have no domain (sampling them is not a crossing).
+
+``CDC001`` — a register whose data or enable cone carries a foreign
+domain, unless it is the head of a synchronizer: the data must be a
+direct whole-net sample (no combinational mixing between the domains),
+the enable cone must be domain-clean, and the captured — possibly
+metastable — value must feed nothing but one more register stage in
+the same clock domain.  That shape admits exactly the 2-FF (and
+longer) synchronizers and, because the *first* stage may sample a
+combinational net, gray-coded multi-bit crossings like ``cdc_gray``.
+
+``CDC002`` — a register clocked by a net that no process or entity
+ever drives: the register can never trigger (the classic X-initialized
+or unconnected clock).
+"""
+
+from __future__ import annotations
+
+
+def _domains(model):
+    """Net index -> frozen set of clock-net indices (fixpoint)."""
+    dom = {}
+    for reg in model.regs:
+        target = reg.target.find().index
+        dom.setdefault(target, set()).update(reg.clocks)
+    edges = {}
+    for src, dst, _stable in model.edges:
+        a, b = src.find().index, dst.find().index
+        if a != b:
+            edges.setdefault(a, set()).add(b)
+    work = list(dom)
+    while work:
+        node = work.pop()
+        source = dom.get(node)
+        if not source:
+            continue
+        for succ in edges.get(node, ()):
+            target = dom.setdefault(succ, set())
+            before = len(target)
+            target.update(source)
+            if len(target) != before:
+                work.append(succ)
+    return dom
+
+
+def _cone_domains(cone, dom):
+    out = set()
+    for net in cone:
+        out.update(dom.get(net.find().index, ()))
+    return out
+
+
+def check_cdc(model, diagnostics, unit=None):
+    """Run CDC001/CDC002 over a :class:`DesignModel`."""
+    dom = _domains(model)
+    driven = {d.net.find().index for d in model.drivers}
+
+    # Consumers of each net: registers sampling it plus comb edges.
+    reg_data = {}
+    comb_out = {}
+    for reg in model.regs:
+        for net in reg.data_sources:
+            reg_data.setdefault(net.find().index, []).append(reg)
+        for net in reg.cond_sources:
+            reg_data.setdefault(net.find().index, []).append(reg)
+    for src, dst, _stable in model.edges:
+        a, b = src.find().index, dst.find().index
+        if a != b:
+            comb_out.setdefault(a, []).append(b)
+
+    reported_clocks = set()
+    for reg in model.regs:
+        for clock in reg.clock_nets:
+            index = clock.find().index
+            if index not in driven and index not in reported_clocks:
+                reported_clocks.add(index)
+                diagnostics.emit(
+                    "CDC002",
+                    f"register clock {clock.find().label()} is never "
+                    f"driven; the register can never trigger",
+                    unit=unit, location=clock.find().label(),
+                    notes=(f"first clocked element: {reg.where}",))
+
+        own = reg.clocks
+        foreign = (_cone_domains(reg.data_sources, dom)
+                   | _cone_domains(reg.cond_sources, dom)) - own
+        if not foreign:
+            continue
+        names = sorted(model.nets[i].find().label() for i in foreign)
+        problem = _sync_head_violation(model, reg, dom, own, reg_data,
+                                       comb_out)
+        if problem is None:
+            continue
+        diagnostics.emit(
+            "CDC001",
+            f"register {reg.target.find().label()} samples clock "
+            f"domain(s) {{{', '.join(names)}}} from domain "
+            f"{{{', '.join(sorted(model.nets[i].find().label() for i in own))}}} "
+            f"without a synchronizer: {problem}",
+            unit=unit, location=reg.target.find().label(),
+            notes=(reg.where,))
+
+
+def _sync_head_violation(model, reg, dom, own, reg_data, comb_out):
+    """None when ``reg`` is a legal synchronizer head, else the reason."""
+    if reg.data_net is None:
+        return ("the sampled value mixes domains combinationally "
+                "before capture")
+    cond_foreign = _cone_domains(reg.cond_sources, dom) - own
+    if cond_foreign:
+        return "the register enable itself crosses domains"
+    target = reg.target.find().index
+    if comb_out.get(target):
+        consumers = sorted(model.nets[i].find().label()
+                           for i in set(comb_out[target]))
+        return (f"its possibly-metastable output feeds combinational "
+                f"logic ({', '.join(consumers)}) instead of a second "
+                f"register stage")
+    for consumer in reg_data.get(target, ()):
+        if consumer is reg:
+            continue
+        if consumer.clocks != reg.clocks:
+            return (f"its output is re-sampled in a different domain "
+                    f"by {consumer.where}")
+        if consumer.data_net is None or \
+                consumer.data_net.find().index != target:
+            if reg.target.find() in consumer.cond_sources or \
+                    any(n.find().index == target
+                        for n in consumer.cond_sources):
+                return (f"its possibly-metastable output gates "
+                        f"{consumer.where}")
+            return (f"its output is combinationally mixed into "
+                    f"{consumer.where} before a second stage")
+    return None

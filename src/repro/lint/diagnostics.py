@@ -1,0 +1,195 @@
+"""Structured lint diagnostics: codes, locations, renderers, baselines.
+
+Every checker finding is a :class:`Diagnostic` with a stable code
+(``RACE001``, ``LOOP001``, ...), a severity, a location (unit /
+instruction path inside the elaborated hierarchy), a one-line message,
+and optional related notes pointing at the other half of the problem
+(the second driver of a race, the members of a loop).  A
+:class:`DiagnosticSet` renders to human-readable text or JSON and can be
+filtered through a committed baseline file (the suppression mechanism
+the CI lint gate builds on: known findings are recorded once, new ones
+fail the build).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: code -> (severity, one-line summary) for every diagnostic the
+#: checkers can emit.  Severities are "error" (semantics are broken or
+#: nondeterministic) and "warning" (legal but hazardous).
+CODES = {
+    "RACE001": ("error",
+                "unresolved net with multiple same-instant drivers"),
+    "RACE002": ("error",
+                "net merge with conflicting two-valued initial values"),
+    "LOOP001": ("error",
+                "zero-delay combinational loop (delta-cycle oscillator)"),
+    "CDC001": ("warning",
+               "unsynchronized clock-domain crossing"),
+    "CDC002": ("warning",
+               "register clock is never driven"),
+}
+
+SEVERITIES = ("error", "warning")
+
+
+class Diagnostic:
+    """One lint finding."""
+
+    __slots__ = ("code", "severity", "message", "unit", "location",
+                 "notes")
+
+    def __init__(self, code, message, unit=None, location=None,
+                 notes=(), severity=None):
+        if code not in CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        self.code = code
+        self.severity = severity or CODES[code][0]
+        self.message = message
+        self.unit = unit          # unit name, e.g. "cdc_strobe_tb"
+        self.location = location  # hierarchical net/instruction path
+        self.notes = tuple(notes)
+
+    def key(self):
+        """The identity used for baseline suppression.
+
+        Deliberately excludes the free-text message: a reworded
+        explanation must not un-suppress a known finding.
+        """
+        return (self.code, self.unit or "", self.location or "")
+
+    def render(self):
+        where = self.location or self.unit or "<design>"
+        lines = [f"{self.severity}: {self.code}: {where}: {self.message}"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_json(self):
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "unit": self.unit,
+            "location": self.location,
+            "message": self.message,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(data["code"], data.get("message", ""),
+                   unit=data.get("unit"), location=data.get("location"),
+                   notes=data.get("notes", ()),
+                   severity=data.get("severity"))
+
+    def __repr__(self):
+        return f"<{self.code} @ {self.location or self.unit}>"
+
+
+class DiagnosticSet:
+    """The ordered findings of one lint run."""
+
+    def __init__(self, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+
+    def add(self, diagnostic):
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics):
+        self.diagnostics.extend(diagnostics)
+
+    def emit(self, code, message, unit=None, location=None, notes=()):
+        self.add(Diagnostic(code, message, unit=unit, location=location,
+                            notes=notes))
+
+    def sorted(self):
+        return sorted(self.diagnostics,
+                      key=lambda d: (SEVERITIES.index(d.severity),
+                                     d.code, d.location or "",
+                                     d.message))
+
+    def count(self, severity=None, code=None):
+        return sum(1 for d in self.diagnostics
+                   if (severity is None or d.severity == severity)
+                   and (code is None or d.code == code))
+
+    def codes(self):
+        return sorted({d.code for d in self.diagnostics})
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # -- rendering -------------------------------------------------------------
+
+    def render_text(self, header=None):
+        lines = []
+        if header:
+            lines.append(header)
+        for diag in self.sorted():
+            lines.append(diag.render())
+        errors = self.count("error")
+        warnings = self.count("warning")
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+        return "\n".join(lines)
+
+    def render_json(self, **extra):
+        payload = dict(extra)
+        payload["diagnostics"] = [d.to_json() for d in self.sorted()]
+        payload["errors"] = self.count("error")
+        payload["warnings"] = self.count("warning")
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    # -- baseline suppression ----------------------------------------------------
+
+    def suppress(self, baseline):
+        """Split against a baseline -> (new DiagnosticSet, suppressed list).
+
+        A finding is suppressed when its :meth:`Diagnostic.key` appears
+        in the baseline; each baseline entry suppresses any number of
+        findings with that key (a loop reported through two nets must
+        not need two entries).
+        """
+        known = set(baseline.keys)
+        fresh, suppressed = [], []
+        for diag in self.diagnostics:
+            (suppressed if diag.key() in known else fresh).append(diag)
+        return DiagnosticSet(fresh), suppressed
+
+
+class Baseline:
+    """A committed set of known diagnostic keys.
+
+    The file format is the JSON the CLI writes with ``--update-baseline``:
+    ``{"diagnostics": [{"code": ..., "unit": ..., "location": ...}]}`` —
+    the same shape ``--format json`` emits, so a baseline can be seeded
+    from a plain lint run.
+    """
+
+    def __init__(self, keys=()):
+        self.keys = set(keys)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics):
+        return cls(d.key() for d in diagnostics)
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as fh:
+            data = json.load(fh)
+        keys = []
+        for entry in data.get("diagnostics", []):
+            keys.append((entry["code"], entry.get("unit") or "",
+                         entry.get("location") or ""))
+        return cls(keys)
+
+    def dump(self, path):
+        entries = [{"code": code, "unit": unit, "location": location}
+                   for code, unit, location in sorted(self.keys)]
+        with open(path, "w") as fh:
+            json.dump({"diagnostics": entries}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")

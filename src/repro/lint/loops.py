@@ -1,0 +1,102 @@
+"""LOOP001: zero-delay combinational cycles (delta-cycle oscillators).
+
+Builds the net-level dependency graph of zero-delay drives collected by
+the model and reports its non-trivial strongly connected components.
+An SCC is only diagnosed when at least one intra-SCC edge is *unstable*
+(runs through actual computation).  A cycle whose every edge is
+value-preserving plumbing — the ``drv %s, mux([prb %s, %v], %c)``
+feedback mux-insertion emits, or the nested ``inss``/``exts``
+projections of a partial drive — holds its value instead of
+oscillating, and flagging it would indict every lowered design.  (The
+dual false negative — a loop of pure bit *permutations*, which does
+oscillate — is accepted and documented.)
+"""
+
+from __future__ import annotations
+
+
+def _sccs(order, successors):
+    """Tarjan's algorithm, iterative; yields SCCs as lists of nodes."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    out = []
+    for root in order:
+        if root in index:
+            continue
+        work = [(root, iter(successors.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                out.append(scc)
+    return out
+
+
+def check_loops(model, diagnostics, unit=None):
+    """Run LOOP001 over a :class:`DesignModel`."""
+    successors = {}
+    edge_info = {}
+    self_unstable = set()
+    for src, dst, stable in model.edges:
+        a, b = src.find().index, dst.find().index
+        if a == b:
+            if not stable:
+                self_unstable.add(a)
+            continue
+        successors.setdefault(a, set()).add(b)
+        key = (a, b)
+        edge_info[key] = edge_info.get(key, True) and stable
+    order = sorted(set(successors)
+                   | {b for bs in successors.values() for b in bs}
+                   | self_unstable)
+    for scc in _sccs(order, successors):
+        members = set(scc)
+        if len(scc) == 1 and scc[0] not in self_unstable:
+            continue
+        if len(scc) > 1:
+            unstable = any(
+                not stable for (a, b), stable in edge_info.items()
+                if a in members and b in members)
+            if not unstable:
+                continue
+        nets = sorted((model.nets[i].find() for i in members),
+                      key=lambda n: n.index)
+        labels = [n.label() for n in nets]
+        diagnostics.emit(
+            "LOOP001",
+            f"zero-delay combinational loop through "
+            f"{len(labels)} net(s): {', '.join(labels)}; "
+            f"the simulator would oscillate until the delta limit",
+            unit=unit, location=labels[0],
+            notes=tuple(f"loop member: {label}" for label in labels[1:]))

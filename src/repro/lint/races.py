@@ -1,0 +1,79 @@
+"""RACE checkers: static multi-driver conflicts.
+
+``RACE001`` — an *unresolved* net (any element type without the IEEE
+1164 resolution function, i.e. everything but ``lN``) with two or more
+driver keys that can put a transaction on it in the same instant.
+Driver keys match the runtime granularity (one per process instance,
+one per entity's ``drv`` set, one per ``reg``/``del``), so several
+drives from one process never race each other — the scheduler replaces
+same-key transactions.  One cross-class pairing is deliberately
+allowed: an initialization-only drive (fires exclusively in the t=0
+instant) against edge- or timed-class drivers (whose first transaction
+matures strictly later) — the Moore testbench handoff idiom.
+
+``RACE002`` — two nets merged by ``con`` whose declared initial values
+always conflict (known, unequal, and not nine-valued-resolvable): the
+merged net's power-up value would depend on elaboration order.
+"""
+
+from __future__ import annotations
+
+
+def _is_resolved(net):
+    type = net.type
+    element = type.element if type.is_signal else type
+    return element.is_logic
+
+
+#: clazz-pair combinations that cannot mature a transaction in the same
+#: instant: ``init`` fires only at t=0; ``edge`` and ``timed`` drives
+#: first fire after a wait has suspended at least once.
+_COMPATIBLE = frozenset((
+    frozenset(("init", "edge")),
+    frozenset(("init", "timed")),
+))
+
+
+def check_races(model, diagnostics, unit=None):
+    """Run RACE001/RACE002 over a :class:`DesignModel`."""
+    by_net = {}
+    for driver in model.drivers:
+        by_net.setdefault(driver.net.find(), {}) \
+            .setdefault(driver.key, []).append(driver)
+    for net in sorted(by_net, key=lambda n: n.index):
+        keyed = by_net[net]
+        if len(keyed) < 2 or _is_resolved(net):
+            continue
+        entries = [(frozenset(d.clazz for d in group), group[0])
+                   for group in keyed.values()]
+        entries.sort(key=lambda e: e[1].where)
+        for i, (classes_a, a) in enumerate(entries):
+            for classes_b, b in entries[i + 1:]:
+                if _compatible(classes_a, classes_b):
+                    continue
+                diagnostics.emit(
+                    "RACE001",
+                    f"unresolved net {net.label()} has multiple "
+                    f"drivers that can fire in the same instant; "
+                    f"the simulation outcome depends on driver order",
+                    unit=unit, location=net.label(),
+                    notes=(f"driver 1: {a.describe()}",
+                           f"driver 2: {b.describe()}"))
+    for a, b, va, vb, path in model.con_conflicts:
+        diagnostics.emit(
+            "RACE002",
+            f"connected nets {a.label()} and {b.label()} declare "
+            f"conflicting initial values {va!r} and {vb!r}",
+            unit=unit, location=a.label(),
+            notes=(f"merged in {path}",))
+
+
+def _compatible(classes_a, classes_b):
+    """Can every drive in A coexist with every drive in B?"""
+    for ca in classes_a:
+        for cb in classes_b:
+            if ca == cb:
+                return False
+            if frozenset((ca, cb)) not in _COMPATIBLE:
+                return False
+    return True

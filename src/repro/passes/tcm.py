@@ -254,7 +254,14 @@ def _coalesce_drives(unit, regions):
 
 
 def _coalesce_group(exit_block, drvs):
-    """Merge ordered drives of one signal: the last satisfied one wins."""
+    """Merge ordered drives of one signal: the last satisfied one wins.
+
+    The merged drive replaces the group's *last* member in place rather
+    than moving to the end of the block: scheduling is transport-
+    cancelling (a drive deletes this driver's pending transactions at or
+    after its time), so reordering a drive past a same-signal drive with
+    a different delay would change which transactions survive.
+    """
     last = drvs[-1]
     builder = Builder.before(last)
     value = drvs[0].drv_value()
@@ -271,10 +278,11 @@ def _coalesce_group(exit_block, drvs):
                 else builder.or_(condition, c)
     signal = last.drv_signal()
     delay = last.drv_delay()
-    for drv in drvs:
+    for drv in drvs[:-1]:
         drv.erase()
-    Builder.at_end(_strip_terminator(exit_block)).drv(
-        signal, value, delay, condition)
+    index = exit_block.index_of(last)
+    last.erase()
+    Builder(exit_block, index).drv(signal, value, delay, condition)
 
 
 def _strip_terminator(block):

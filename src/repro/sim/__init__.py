@@ -36,6 +36,14 @@ class SimulationResult:
         self.assertion_failures = kernel.assertion_failures
         self.output = kernel.output
         self.stats = kernel.stats
+        self.sanitizer = kernel.sanitizer
+
+    @property
+    def findings(self):
+        """Sanitizer findings (empty when run without ``sanitize=True``)."""
+        if self.sanitizer is None:
+            return []
+        return list(self.sanitizer.findings)
 
     @property
     def final_time_fs(self):
@@ -47,31 +55,37 @@ class SimulationResult:
 
 
 def simulate(module, top, until_fs=None, backend="interp",
-             trace_filter=None):
+             trace_filter=None, sanitize=False):
     """Elaborate and simulate ``module`` from entity ``top``.
 
     Returns a :class:`SimulationResult` whose trace records every signal
     value change (filtered by ``trace_filter(signal) -> bool`` if given).
+    With ``sanitize=True`` the scheduler records drive races and
+    oscillations as :class:`~repro.sim.sanitize.Finding` objects instead
+    of raising, exposed as ``result.findings``.
     """
     trace = Trace(trace_filter)
     if backend == "interp":
-        from .interp import elaborate
+        from .interp import elaborate as elaborator
 
         kernel = Kernel(trace=trace)
-        design = elaborate(module, top, kernel)
     elif backend == "blaze":
-        from .blaze import elaborate_compiled
+        from .blaze import elaborate_compiled as elaborator
 
         kernel = Kernel(trace=trace)
-        design = elaborate_compiled(module, top, kernel)
     elif backend == "cycle":
-        from .cycle import CycleKernel, elaborate_cycle
+        from .cycle import CycleKernel
+        from .cycle import elaborate_cycle as elaborator
 
         kernel = CycleKernel(trace=trace)
-        design = elaborate_cycle(module, top, kernel)
     else:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if sanitize:
+        from .sanitize import Sanitizer
+
+        kernel.sanitizer = Sanitizer()
+    design = elaborator(module, top, kernel)
     kernel.run(until_fs=until_fs)
     trace.finalize()
     return SimulationResult(design, kernel, trace)

@@ -80,6 +80,11 @@ def _build_parser():
         "--cross-check", action="store_true",
         help="simulate under interp AND blaze; fail on trace divergence")
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="record drive races and delta-cycle oscillations as "
+             "findings (cross-checking repro.lint verdicts) instead of "
+             "aborting the run")
+    parser.add_argument(
         "--batch", type=int, default=None, metavar="K",
         help="simulate K lanes through one elaborated design; without "
              "--seed-stride every lane sees identical stimulus "
@@ -149,6 +154,8 @@ def _report(result, args):
         print(line)
     for failure in result.assertion_failures:
         print(failure, file=sys.stderr)
+    for finding in result.findings:
+        print(finding.render(), file=sys.stderr)
     if args.stats:
         stats = result.stats
         print(f"# finished at {result.final_time_fs}fs: "
@@ -238,18 +245,28 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.seed_stride is not None and args.batch is None:
         parser.error("--seed-stride requires --batch")
+    if args.sanitize and args.batch is not None:
+        parser.error("--sanitize does not support batched lanes")
     if args.list_designs:
         from ..designs import ALL_DESIGNS, DESIGNS, stage_reach
+        from ..lint import lint_design
 
         for name in ALL_DESIGNS:
             design = DESIGNS[name]
             prefix = f"{name:16s} top @{design.top:20s}"
+            try:
+                diagnostics = lint_design(name)
+                lint = "clean" if not len(diagnostics) else \
+                    ",".join(sorted(diagnostics.codes()))
+            except Exception as exc:  # lint must never break the listing
+                lint = f"error({type(exc).__name__})"
             if args.no_reach:
-                print(f"{prefix} {design.paper_name}")
+                print(f"{prefix} lint {lint:12s} {design.paper_name}")
                 continue
             reach, rejections = stage_reach(name)
             deepest = [s for s, ok in reach.items() if ok][-1]
-            print(f"{prefix} reach {deepest:12s} {design.paper_name}")
+            print(f"{prefix} reach {deepest:12s} lint {lint:12s} "
+                  f"{design.paper_name}")
             for proc, why in rejections:
                 print(f"{'':21s} rejected @{proc}: {why}")
         return 0
@@ -272,9 +289,9 @@ def main(argv=None):
     try:
         if args.cross_check:
             reference = simulate(module, top, until_fs=until_fs,
-                                 backend="interp")
+                                 backend="interp", sanitize=args.sanitize)
             result = simulate(module, top, until_fs=until_fs,
-                              backend="blaze")
+                              backend="blaze", sanitize=args.sanitize)
             differences = reference.trace.differences(result.trace)
             if differences:
                 print("error: interp and blaze traces diverge:",
@@ -286,12 +303,12 @@ def main(argv=None):
                   file=sys.stderr)
         else:
             result = simulate(module, top, until_fs=until_fs,
-                              backend=args.engine)
+                              backend=args.engine, sanitize=args.sanitize)
     except SimulationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     _report(result, args)
-    return 1 if result.assertion_failures else 0
+    return 1 if result.assertion_failures or result.findings else 0
 
 
 if __name__ == "__main__":

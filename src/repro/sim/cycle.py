@@ -99,6 +99,9 @@ class CycleKernel:
         self.output = []
         self.finished = False
         self.stats = {"deltas": 0, "events": 0, "activations": 0}
+        # Sanitizer + driver labels — same protocol as engine.Kernel.
+        self.sanitizer = None
+        self.driver_labels = {}
         # Batch (lane) attribution — same protocol as engine.Kernel.
         self.lanes = 1
         self.current_lane = None
@@ -114,6 +117,18 @@ class CycleKernel:
         if self.trace is not None:
             self.trace.record((0, 0, 0), sig, initial)
         return sig
+
+    def describe_driver(self, key):
+        """A readable identity for a driver key, for conflict reports."""
+        kind = ""
+        order = key
+        if isinstance(key, tuple):
+            kind = f"{key[0]} of "
+            order = key[1]
+        label = self.driver_labels.get(order)
+        if label is None:
+            return f"{kind}driver #{order}"
+        return f"{kind}{label}"
 
     def _instant(self, fs):
         instant = self.calendar.get(fs)
@@ -224,6 +239,14 @@ class CycleKernel:
             rnd = instant.rounds.pop(key)
             rounds += 1
             if rounds > self.MAX_DELTAS:
+                if self.sanitizer is not None:
+                    hot = [s.find().name
+                           for s in rnd.signals.values()]
+                    for other in instant.rounds.values():
+                        hot.extend(s.find().name
+                                   for s in other.signals.values())
+                    self.sanitizer.record_oscillation(self, fs, hot)
+                    break
                 raise SimulationError(
                     f"delta cycle limit exceeded at t={fs}fs "
                     f"(combinational loop?)")
@@ -249,17 +272,17 @@ class CycleKernel:
     def _mature(self, sig, now):
         old = sig.value
         due_all = []
-        for timeline in sig.pending.values():
+        for key, timeline in sig.pending.items():
             entry = timeline.mature(now)
             if entry is not None:
-                due_all.append(entry)
+                due_all.append((entry[0], entry[1], key))
         if not due_all:
             return False
         if len(due_all) == 1:
-            path, value = due_all[0]
+            path, value, _key = due_all[0]
             new = insert_path(old, path, value) if path else value
         else:
-            new = _combine_contributions(old, due_all)
+            new = _combine_contributions(old, due_all, sig, self)
         if new == old:
             return False
         sig.value = new

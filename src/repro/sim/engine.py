@@ -39,15 +39,19 @@ from .values import SimulationError, extract_path, insert_path
 ZERO_TIME = (0, 0, 0)
 
 
-def _combine_contributions(old, contributions):
+def _combine_contributions(old, contributions, sig=None, kernel=None):
     """Merge same-instant drive transactions from several drivers.
 
+    ``contributions`` is a list of ``(path, value, driver_key)``.
     Whole-signal drives apply first, then projected patches in ascending
     path depth, so a same-instant patch of a slice wins over a
     whole-signal drive.  Drivers hitting the *same* target — the whole
     net, or the identical projection path — resolve (IEEE 1164) when the
-    driven values are lN, in a single N-way plane pass over all of them;
-    types without a resolution function keep last-driver-wins.
+    driven values are lN, in a single N-way plane pass over all of them.
+    Types without a resolution function raise a deterministic
+    :class:`SimulationError` naming the conflicting drivers when the
+    values actually disagree (under a sanitizer the conflict is recorded
+    and the last driver wins instead); drivers that agree are harmless.
     """
     contributions.sort(key=lambda t: len(t[0]))
     new = old
@@ -59,26 +63,50 @@ def _combine_contributions(old, contributions):
         while j < count and len(contributions[j][0]) == plen:
             j += 1
         if j - i == 1:
-            path, value = contributions[i]
+            path, value, _key = contributions[i]
             new = insert_path(new, path, value)
         else:
             groups = {}
             for k in range(i, j):
-                path, value = contributions[k]
+                path, value, key = contributions[k]
                 group = groups.get(path)
                 if group is None:
-                    groups[path] = [value]
+                    groups[path] = ([value], [key])
                 else:
-                    group.append(value)
-            for path, values in groups.items():
+                    group[0].append(value)
+                    group[1].append(key)
+            for path, (values, keys) in groups.items():
                 if len(values) == 1:
                     new = insert_path(new, path, values[0])
                 elif all(type(v) is LogicVec for v in values):
                     new = insert_path(new, path, resolve_many(values))
                 else:
+                    first = values[0]
+                    if any(v != first for v in values[1:]):
+                        sanitizer = kernel.sanitizer \
+                            if kernel is not None else None
+                        if sanitizer is None:
+                            raise SimulationError(_race_message(
+                                sig, path, values, keys, kernel))
+                        sanitizer.record_race(kernel, sig, path,
+                                              values, keys)
                     new = insert_path(new, path, values[-1])
         i = j
     return new
+
+
+def _race_message(sig, path, values, keys, kernel):
+    name = sig.find().name if sig is not None else "<net>"
+    if path:
+        name = f"{name}[{'/'.join(str(p) for p in path)}]"
+    if kernel is not None:
+        drivers = sorted(kernel.describe_driver(key) for key in keys)
+    else:
+        drivers = sorted(repr(key) for key in keys)
+    return (f"same-instant drive conflict on unresolved net {name}: "
+            f"{len(keys)} drivers matured different values "
+            f"({', '.join(repr(v) for v in values)}); "
+            f"conflicting drivers: {'; '.join(drivers)}")
 
 # Event kinds in the kernel heap (ints compare faster than strings and
 # keep heap entries small).
@@ -299,6 +327,13 @@ class Kernel:
         self.stats = {"deltas": 0, "events": 0, "activations": 0}
         # Hot-loop counters, folded into `stats` when `run` returns.
         self._deltas = self._events = self._activations = 0
+        # Scheduler sanitizer (repro.sim.sanitize): when set, drive
+        # races and delta-limit oscillations are recorded as findings
+        # instead of raising.  driver_labels maps an activity order (the
+        # integer inside every driver key) to its hierarchical path so
+        # conflicts are reported against readable source names.
+        self.sanitizer = None
+        self.driver_labels = {}
         # Batch (lane) attribution; see repro.sim.lanes.  When lanes > 1,
         # assertion/print entries become (lane, text) tuples — lane None
         # means "all lanes" — and llhd.finish retires one lane at a time
@@ -389,6 +424,11 @@ class Kernel:
                 else:
                     deltas_at_fs += 1
                     if deltas_at_fs > self.MAX_DELTAS:
+                        if self.sanitizer is not None:
+                            self.sanitizer.record_oscillation(
+                                self, current_fs,
+                                self._hot_nets(time[0]))
+                            break
                         raise SimulationError(
                             f"delta cycle limit exceeded at t={current_fs}fs "
                             f"(combinational loop?)")
@@ -397,6 +437,27 @@ class Kernel:
         finally:
             self._flush_stats()
         self.now = (self.now[0], 0, 0)
+
+    def _hot_nets(self, fs):
+        """Names of nets with updates still queued in instant ``fs``
+        (the members of an oscillating zero-delay loop)."""
+        names = []
+        for time, _seq, kind, payload in self._heap:
+            if time[0] == fs and kind == _UPDATE:
+                names.append(payload.find().name)
+        return names
+
+    def describe_driver(self, key):
+        """A readable identity for a driver key, for conflict reports."""
+        kind = ""
+        order = key
+        if isinstance(key, tuple):
+            kind = f"{key[0]} of "
+            order = key[1]
+        label = self.driver_labels.get(order)
+        if label is None:
+            return f"{kind}driver #{order}"
+        return f"{kind}{label}"
 
     def _flush_stats(self):
         stats = self.stats
@@ -454,17 +515,20 @@ class Kernel:
     def _apply_transactions(self, sig, time):
         """Mature due transactions on a net; True if the value changed."""
         single = None
+        single_key = None
         contributions = None
-        for timeline in sig.pending.values():
+        for key, timeline in sig.pending.items():
             entry = timeline.mature(time)
             if entry is None:
                 continue
             if contributions is not None:
-                contributions.append(entry)
+                contributions.append((entry[0], entry[1], key))
             elif single is None:
                 single = entry
+                single_key = key
             else:
-                contributions = [single, entry]
+                contributions = [(single[0], single[1], single_key),
+                                 (entry[0], entry[1], key)]
                 single = None
         old = sig.value
         if contributions is None:
@@ -474,7 +538,7 @@ class Kernel:
             path, value = single
             new = insert_path(old, path, value) if path else value
         else:
-            new = _combine_contributions(old, contributions)
+            new = _combine_contributions(old, contributions, sig, self)
         if new == old:
             return False
         sig.value = new

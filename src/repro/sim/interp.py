@@ -130,7 +130,11 @@ class Design:
 
     def finalize(self):
         """Hook called when the hierarchy is fully elaborated."""
+        labels = self.kernel.driver_labels
         for activity in self.activities:
+            path = getattr(activity, "path", None)
+            if path is not None:
+                labels[activity.order] = path
             bind = getattr(activity, "bind", None)
             if bind is not None:
                 bind()
@@ -432,11 +436,15 @@ class EntityInstance:
     def _initial_eval(self):
         kernel = self.design.kernel
         env = self.env
-        for inst in self.unit.body:
+        # Unnamed nets (techmap-generated cell outputs) get a
+        # deterministic body-positional fallback name — the same
+        # convention repro.lint uses, so static and dynamic reports
+        # line up and trace comparisons never depend on heap addresses.
+        for position, inst in enumerate(self.unit.body):
             op = inst.opcode
             if op == "sig":
                 env[id(inst)] = self.design.create_signal(
-                    f"{self.path}.{inst.name or id(inst)}",
+                    f"{self.path}.{inst.name or f'%{position}'}",
                     inst.type, env[id(inst.operands[0])])
             elif op == "inst":
                 self._instantiate(inst)
@@ -448,7 +456,7 @@ class EntityInstance:
                 source = env[id(inst.operands[0])]
                 init = kernel.probe(source)
                 env[id(inst)] = self.design.create_signal(
-                    f"{self.path}.{inst.name or id(inst)}",
+                    f"{self.path}.{inst.name or f'%{position}'}",
                     inst.type, init)
                 self._observe(source)
             elif op == "prb":

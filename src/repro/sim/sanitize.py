@@ -1,0 +1,98 @@
+"""Scheduler sanitizer: dynamic detection of races and oscillations.
+
+The static checkers in :mod:`repro.lint` predict two scheduler-level
+hazards; with ``sanitize=True`` (CLI: ``python -m repro.sim
+--sanitize``) the kernels *observe* them instead of failing:
+
+* a **drive race** — several drivers mature conflicting values on an
+  unresolved net in the same instant (the static ``RACE001``).  Without
+  the sanitizer this is a hard :class:`SimulationError`; with it, the
+  conflict is recorded and the last driver wins so the run can surface
+  every race, not just the first.
+* an **oscillation** — the delta-cycle limit trips within one physical
+  instant (the static ``LOOP001``).  The sanitizer records the nets
+  still exchanging events and finishes the simulation gracefully.
+
+Findings carry the same stable codes as the static diagnostics so a
+static verdict can be cross-checked against simulation ground truth
+(``tests/lint`` does exactly that over the seeded bad corpus).
+"""
+
+from __future__ import annotations
+
+
+class Finding:
+    """One dynamic sanitizer finding."""
+
+    __slots__ = ("code", "time_fs", "location", "message", "drivers")
+
+    def __init__(self, code, time_fs, location, message, drivers=()):
+        self.code = code
+        self.time_fs = time_fs
+        self.location = location
+        self.message = message
+        self.drivers = tuple(drivers)
+
+    def render(self):
+        lines = [f"sanitizer: {self.code}: t={self.time_fs}fs: "
+                 f"{self.location}: {self.message}"]
+        for driver in self.drivers:
+            lines.append(f"  driver: {driver}")
+        return "\n".join(lines)
+
+    def to_json(self):
+        return {"code": self.code, "time_fs": self.time_fs,
+                "location": self.location, "message": self.message,
+                "drivers": list(self.drivers)}
+
+    def __repr__(self):
+        return f"<sanitizer {self.code} @ {self.location}>"
+
+
+class Sanitizer:
+    """Collects scheduler hazards during one simulation run."""
+
+    def __init__(self):
+        self.findings = []
+        self._seen = set()
+
+    def record_race(self, kernel, sig, path, values, keys):
+        """A same-instant multi-driver conflict on an unresolved net."""
+        drivers = sorted(kernel.describe_driver(key) for key in keys)
+        dedup = (("race", sig.find().name) + tuple(drivers))
+        if dedup in self._seen:
+            return
+        self._seen.add(dedup)
+        where = sig.find().name
+        if path:
+            where = f"{where}[{'/'.join(str(p) for p in path)}]"
+        self.findings.append(Finding(
+            "RACE001", kernel.now[0], where,
+            f"{len(keys)} drivers matured conflicting values "
+            f"{values!r} in the same instant; applying the last one",
+            drivers=drivers))
+
+    def record_oscillation(self, kernel, fs, nets):
+        """The delta limit tripped: zero-delay feedback never settled."""
+        names = sorted(set(nets))
+        dedup = ("osc",) + tuple(names)
+        if dedup in self._seen:
+            return
+        self._seen.add(dedup)
+        self.findings.append(Finding(
+            "LOOP001", fs, names[0] if names else "<design>",
+            f"delta-cycle limit ({kernel.MAX_DELTAS}) exceeded; "
+            f"net(s) still oscillating: {', '.join(names) or 'unknown'}",
+            drivers=()))
+
+    def codes(self):
+        return sorted({f.code for f in self.findings})
+
+    def render(self):
+        return "\n".join(f.render() for f in self.findings)
+
+    def __len__(self):
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)

@@ -87,10 +87,22 @@ def stimulus_targets(module, top_name, seed, exclude_names=frozenset(),
     return rng.sample(candidates, min(len(candidates), limit))
 
 
-def _emit_waves(proc, rng, waves, drives_per_wave):
-    """Fill a stimulus process body with randomized drive waves."""
+def _emit_waves(proc, rng, waves, drives_per_wave, phase_fs=0):
+    """Fill a stimulus process body with randomized drive waves.
+
+    A nonzero ``phase_fs`` makes the stimulus *race-free*: every drive
+    delay is offset by it (shifting transitions off the testbenches'
+    500ps time grid) and all drive maturation times are kept pairwise
+    distinct.  Two nets changing in the same femtosecond as a clock edge
+    make the registered view of them legitimately scheduler-dependent,
+    so comparisons across *different* elaborations of one design
+    (behavioural vs netlist) need race-free stimulus; same-module
+    cross-engine comparisons do not (all engines see the same races).
+    """
     blocks = [proc.create_block(f"wave{i}") for i in range(waves + 1)]
     b = Builder.at_end(blocks[0])
+    now_fs = 0
+    used_fs = set()
     for wave, block in enumerate(blocks[:-1]):
         b.set_insert_point(block)
         for _ in range(drives_per_wave):
@@ -100,10 +112,15 @@ def _emit_waves(proc, rng, waves, drives_per_wave):
                 value = b.const_logic(random_logic_text(rng, elem.width))
             else:
                 value = b.const_int(elem, rng.getrandbits(elem.width))
-            delay = b.const_time(TimeValue(rng.randrange(1, 4) * 500_000))
-            b.drv(target, value, delay)
-        pause = b.const_time(TimeValue(rng.randrange(1, 5) * 1_000_000))
-        b.wait(blocks[wave + 1], pause, [])
+            delay_fs = rng.randrange(1, 4) * 500_000 + phase_fs
+            if phase_fs:
+                while now_fs + delay_fs in used_fs:
+                    delay_fs += 500_000
+                used_fs.add(now_fs + delay_fs)
+            b.drv(target, value, b.const_time(TimeValue(delay_fs)))
+        pause_fs = rng.randrange(1, 5) * 1_000_000
+        b.wait(blocks[wave + 1], b.const_time(TimeValue(pause_fs)), [])
+        now_fs += pause_fs
     b.set_insert_point(blocks[-1])
     b.halt()
 
@@ -120,14 +137,15 @@ def build_stimulus_process(module, name, targets, seed, waves=6,
 
 
 def inject_stimulus(module, top_name, seed, waves=6, drives_per_wave=3,
-                    exclude_names=frozenset()):
+                    exclude_names=frozenset(), phase_fs=0):
     """Splice a randomized stimulus process into the design's top entity.
 
     Drives random values — nine-valued strings with X/Z/L/H/W/U/-
     injections on ``lN`` nets, random integers on ``iN`` nets — onto up
     to four of the top's internal signals at randomized times.  Returns
     True if any signal was targeted.  Built from ``Random(seed)`` only,
-    so every backend sees a byte-identical module.
+    so every backend sees a byte-identical module.  ``phase_fs`` shifts
+    the drive times off the testbench clock grid (see ``_emit_waves``).
     """
     rng = random.Random(seed)
     candidates = stimulus_candidates(module, top_name, exclude_names)
@@ -137,7 +155,7 @@ def inject_stimulus(module, top_name, seed, waves=6, drives_per_wave=3,
     proc = Process(STIMULUS_NAME, (), (), [s.type for s in targets],
                    [f"t{i}" for i in range(len(targets))])
     module.add(proc)
-    _emit_waves(proc, rng, waves, drives_per_wave)
+    _emit_waves(proc, rng, waves, drives_per_wave, phase_fs)
     top = module.get(top_name)
     Builder.at_end(top.body).inst(proc, [], targets)
     return True

@@ -1,0 +1,29 @@
+"""No-false-positives sweep: every design of the evaluation suite lints
+clean, both as compiled (behavioural) and after the full lowering
+pipeline down to the netlist level."""
+
+import pytest
+
+from repro.designs import ALL_DESIGNS
+from repro.lint import lint_design
+
+_cache = {}
+
+
+def _lint(name, level):
+    key = (name, level)
+    if key not in _cache:
+        _cache[key] = lint_design(name, level=level)
+    return _cache[key]
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_behavioural_lints_clean(name):
+    diagnostics = _lint(name, "behavioural")
+    assert not len(diagnostics), diagnostics.render_text()
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_netlist_lints_clean(name):
+    diagnostics = _lint(name, "netlist")
+    assert not len(diagnostics), diagnostics.render_text()

@@ -1,0 +1,134 @@
+"""The ``python -m repro.lint`` CLI: inputs, formats, baselines, exit
+codes.  ``main(argv)`` is called in-process."""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.lint.__main__ import main
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+RACE = str(CORPUS / "race.llhd")
+CDC = str(CORPUS / "cdc_bad.llhd")
+
+
+def test_file_input_reports_findings(capsys):
+    assert main([RACE]) == 1
+    out = capsys.readouterr().out
+    assert "error: RACE001" in out
+    assert out.rstrip().endswith("1 error(s), 0 warning(s)")
+
+
+def test_json_format(capsys):
+    assert main([RACE, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 1
+    assert payload["suppressed"] == 0
+    assert payload["diagnostics"][0]["code"] == "RACE001"
+
+
+def test_multiple_files_accumulate(capsys):
+    assert main([RACE, CDC, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {d["code"] for d in payload["diagnostics"]} == \
+        {"RACE001", "CDC001"}
+
+
+def test_baseline_roundtrip(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    assert main([RACE, "--update-baseline", str(base)]) == 0
+    assert json.loads(base.read_text())["diagnostics"]
+    assert main([RACE, "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "1 finding(s) suppressed" in out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_baseline_keeps_fresh_findings(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    assert main([RACE, "--update-baseline", str(base)]) == 0
+    assert main([RACE, CDC, "--baseline", str(base),
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["suppressed"] == 1
+    assert [d["code"] for d in payload["diagnostics"]] == ["CDC001"]
+
+
+def test_fail_on_error_passes_warnings(capsys):
+    assert main([CDC]) == 1
+    assert main([CDC, "--fail-on", "error"]) == 0
+
+
+def test_design_input_clean(capsys):
+    assert main(["--design", "gray"]) == 0
+    assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+def test_unknown_design(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--design", "nope"])
+    assert excinfo.value.code == 2
+
+
+def test_files_and_designs_conflict(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([RACE, "--design", "gray"])
+    assert excinfo.value.code == 2
+
+
+def test_no_input(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+def test_missing_file(capsys):
+    assert main(["/no/such/file.llhd"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_parse_error(tmp_path, capsys):
+    bad = tmp_path / "bad.llhd"
+    bad.write_text("entity @oops (")
+    assert main([str(bad)]) == 2
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_no_entity_to_lint(tmp_path, capsys):
+    empty = tmp_path / "empty.llhd"
+    empty.write_text("")
+    assert main([str(empty)]) == 2
+    assert "no entity to lint" in capsys.readouterr().err
+
+
+def test_bad_baseline_file(tmp_path, capsys):
+    base = tmp_path / "broken.json"
+    base.write_text("{not json")
+    assert main([RACE, "--baseline", str(base)]) == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+def test_stdin_input(monkeypatch, capsys):
+    text = pathlib.Path(RACE).read_text(encoding="utf-8")
+    monkeypatch.setattr("sys.stdin", io.StringIO(text))
+    assert main(["-"]) == 1
+    assert "RACE001" in capsys.readouterr().out
+
+
+def test_top_selects_one_entity(capsys):
+    # @drv_one alone has a single driver: clean.
+    assert main([RACE, "-t", "drv_one"]) == 0
+
+
+def test_top_not_in_file(capsys):
+    assert main([RACE, "-t", "missing"]) == 2
+    assert "lint failed" in capsys.readouterr().err
+
+
+def test_all_designs_merges_explicit_names(capsys):
+    assert main(["--design", "gray", "--all-designs",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 0 and payload["warnings"] == 0

@@ -1,0 +1,170 @@
+"""Unit tests for the diagnostics engine: codes, rendering, JSON,
+baseline suppression, and the analysis/pass integration."""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisManager
+from repro.ir import parse_module
+from repro.lint import (
+    CODES, Baseline, Diagnostic, DiagnosticSet, lower_design_module,
+)
+from repro.passes import PassManager
+
+RACY = """
+entity @a () -> (i8$ %bus) {
+  %0 = const i8 1
+  %t = const time 0s
+  drv i8$ %bus, %0 after %t
+}
+entity @b () -> (i8$ %bus) {
+  %0 = const i8 2
+  %t = const time 0s
+  drv i8$ %bus, %0 after %t
+}
+entity @top () -> () {
+  %init = const i8 0
+  %bus = sig i8 %init
+  inst @a () -> (i8$ %bus)
+  inst @b () -> (i8$ %bus)
+}
+"""
+
+
+# -- Diagnostic ----------------------------------------------------------------
+
+
+def test_codes_table_is_complete():
+    for code, (severity, summary) in CODES.items():
+        assert severity in ("error", "warning")
+        assert summary
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("BOGUS42", "nope")
+
+
+def test_severity_defaults_from_code():
+    assert Diagnostic("RACE001", "m").severity == "error"
+    assert Diagnostic("CDC001", "m").severity == "warning"
+
+
+def test_key_ignores_message():
+    a = Diagnostic("LOOP001", "one wording", unit="u", location="net")
+    b = Diagnostic("LOOP001", "another wording", unit="u", location="net")
+    assert a.key() == b.key()
+
+
+def test_render_includes_notes():
+    diag = Diagnostic("RACE001", "conflict", unit="top", location="bus",
+                      notes=("driver one", "driver two"))
+    text = diag.render()
+    assert text.splitlines()[0] == "error: RACE001: bus: conflict"
+    assert "  note: driver one" in text
+    assert repr(diag) == "<RACE001 @ bus>"
+
+
+def test_json_roundtrip():
+    diag = Diagnostic("CDC002", "x clock", unit="u@netlist",
+                      location="clk", notes=("n",))
+    back = Diagnostic.from_json(json.loads(json.dumps(diag.to_json())))
+    assert back.key() == diag.key()
+    assert back.severity == diag.severity
+    assert back.notes == diag.notes
+
+
+# -- DiagnosticSet -------------------------------------------------------------
+
+
+def _sample_set():
+    diagnostics = DiagnosticSet()
+    diagnostics.emit("CDC001", "crossing", unit="u", location="z")
+    diagnostics.emit("RACE001", "race", unit="u", location="a")
+    diagnostics.emit("LOOP001", "loop", unit="u", location="b")
+    return diagnostics
+
+
+def test_sorted_puts_errors_first():
+    codes = [d.code for d in _sample_set().sorted()]
+    assert codes == ["LOOP001", "RACE001", "CDC001"]
+
+
+def test_counts_and_codes():
+    diagnostics = _sample_set()
+    assert len(diagnostics) == 3
+    assert diagnostics.count("error") == 2
+    assert diagnostics.count("warning") == 1
+    assert diagnostics.count(code="RACE001") == 1
+    assert diagnostics.codes() == ["CDC001", "LOOP001", "RACE001"]
+
+
+def test_render_text_summary_line():
+    text = _sample_set().render_text(header="# hi")
+    assert text.startswith("# hi\n")
+    assert text.endswith("2 error(s), 1 warning(s)")
+
+
+def test_render_json_counts_and_extras():
+    payload = json.loads(_sample_set().render_json(suppressed=4))
+    assert payload["errors"] == 2
+    assert payload["warnings"] == 1
+    assert payload["suppressed"] == 4
+    assert [d["code"] for d in payload["diagnostics"]] == \
+        ["LOOP001", "RACE001", "CDC001"]
+
+
+# -- Baseline ------------------------------------------------------------------
+
+
+def test_suppress_splits_known_from_fresh():
+    diagnostics = _sample_set()
+    baseline = Baseline({("RACE001", "u", "a")})
+    fresh, suppressed = diagnostics.suppress(baseline)
+    assert [d.code for d in suppressed] == ["RACE001"]
+    assert fresh.codes() == ["CDC001", "LOOP001"]
+
+
+def test_baseline_dump_load_roundtrip(tmp_path):
+    diagnostics = _sample_set()
+    path = tmp_path / "base.json"
+    Baseline.from_diagnostics(diagnostics).dump(path)
+    loaded = Baseline.load(path)
+    fresh, suppressed = diagnostics.suppress(loaded)
+    assert not len(fresh) and len(suppressed) == 3
+
+
+def test_baseline_load_tolerates_missing_fields(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps({"diagnostics": [{"code": "LOOP001"}]}))
+    assert Baseline.load(path).keys == {("LOOP001", "", "")}
+
+
+# -- analysis / pass integration -----------------------------------------------
+
+
+def test_lint_analysis_is_cached():
+    module = parse_module(RACY)
+    am = AnalysisManager()
+    diagnostics = am.get("lint", module)
+    assert diagnostics.codes() == ["RACE001"]
+    assert am.get("lint", module) is diagnostics
+
+
+def test_lint_model_analysis_covers_roots():
+    module = parse_module(RACY)
+    models = AnalysisManager().get("lint-model", module)
+    assert list(models) == ["top"]
+
+
+def test_lint_pass_reports_stats():
+    module = parse_module(RACY)
+    pm = PassManager("lint")
+    pm.run(module)
+    assert pm.records["lint"].statistics.get("RACE001") == 1
+
+
+def test_lower_design_module_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        lower_design_module(parse_module(RACY), "rtl")

@@ -1,0 +1,283 @@
+"""Targeted checker-behaviour tests on hand-written IR: the RACE002
+merge conflict, driver-class compatibility, loop stability filtering,
+the CDC synchronizer-head rules, and static-model corner constructs."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.lint import DesignModel, lint_design, lint_module
+
+
+def lint_text(text, top):
+    return lint_module(parse_module(text), top)
+
+
+# -- RACE002: con-merged initial values ----------------------------------------
+
+
+def test_con_conflicting_initials_race002():
+    diagnostics = lint_text("""
+entity @t () -> () {
+  %i0 = const i8 3
+  %i1 = const i8 7
+  %a = sig i8 %i0
+  %b = sig i8 %i1
+  con i8$ %a, %b
+}
+""", "t")
+    assert diagnostics.codes() == ["RACE002"]
+    diag, = diagnostics
+    assert "3" in diag.message and "7" in diag.message
+
+
+def test_con_equal_initials_clean():
+    assert not len(lint_text("""
+entity @t () -> () {
+  %i0 = const i8 3
+  %i1 = const i8 3
+  %a = sig i8 %i0
+  %b = sig i8 %i1
+  con i8$ %a, %b
+}
+""", "t"))
+
+
+def test_con_logic_initials_resolve():
+    # lN initials resolve via IEEE 1164: never a RACE002.
+    assert not len(lint_text("""
+entity @t () -> () {
+  %i0 = const l1 "0"
+  %i1 = const l1 "1"
+  %a = sig l1 %i0
+  %b = sig l1 %i1
+  con l1$ %a, %b
+}
+""", "t"))
+
+
+# -- RACE001: driver-class compatibility ---------------------------------------
+
+
+def test_edge_vs_timed_drivers_race():
+    """A register and a free-running timed process on one unresolved
+    net can mature transactions in the same instant."""
+    diagnostics = lint_text("""
+proc @stim () -> (i1$ %q) {
+entry:
+  %v = const i1 1
+  %t = const time 1ns
+  drv i1$ %q, %v after %t
+  wait %entry for %t
+}
+entity @top () -> () {
+  %z = const i1 0
+  %t0 = const time 0s
+  %t1 = const time 1ns
+  %q = sig i1 %z
+  %clk = sig i1 %z
+  %d = sig i1 %z
+  %pc = prb i1$ %clk
+  %nc = not i1 %pc
+  drv i1$ %clk, %nc after %t1
+  %pd = prb i1$ %d
+  reg i1$ %q, %pd rise %pc after %t0
+  inst @stim () -> (i1$ %q)
+}
+""", "top")
+    assert diagnostics.codes() == ["RACE001"]
+
+
+# -- LOOP001: stability filtering ----------------------------------------------
+
+
+def test_single_net_self_oscillator():
+    diagnostics = lint_text("""
+entity @t () -> () {
+  %z = const i1 0
+  %t0 = const time 0s
+  %a = sig i1 %z
+  %pa = prb i1$ %a
+  %na = not i1 %pa
+  drv i1$ %a, %na after %t0
+}
+""", "t")
+    assert diagnostics.codes() == ["LOOP001"]
+
+
+def test_value_preserving_cycle_not_flagged():
+    # a <-> b through plain probes holds its value: no oscillation.
+    assert not len(lint_text("""
+entity @t () -> () {
+  %z = const i1 0
+  %t0 = const time 0s
+  %a = sig i1 %z
+  %b = sig i1 %z
+  %pa = prb i1$ %a
+  %pb = prb i1$ %b
+  drv i1$ %a, %pb after %t0
+  drv i1$ %b, %pa after %t0
+}
+""", "t"))
+
+
+# -- CDC001: the synchronizer-head rules ---------------------------------------
+
+_CDC_PRELUDE = """
+  %z = const i1 0
+  %t0 = const time 0s
+  %ta = const time 1ns
+  %tb = const time 700ps
+  %clk_a = sig i1 %z
+  %clk_b = sig i1 %z
+  %d = sig i1 %z
+  %own = sig i1 %z
+  %q_a = sig i1 %z
+  %q_b = sig i1 %z
+  %pa = prb i1$ %clk_a
+  %na = not i1 %pa
+  drv i1$ %clk_a, %na after %ta
+  %pb = prb i1$ %clk_b
+  %nb = not i1 %pb
+  drv i1$ %clk_b, %nb after %tb
+  %pd = prb i1$ %d
+  reg i1$ %q_a, %pd rise %pa after %t0
+  %pqa = prb i1$ %q_a
+  %pown = prb i1$ %own
+"""
+
+
+def _cdc_case(body):
+    return lint_text("entity @t () -> () {" + _CDC_PRELUDE + body + "\n}",
+                     "t")
+
+
+def test_two_stage_synchronizer_is_legal():
+    assert not len(_cdc_case("""
+  reg i1$ %q_b, %pqa rise %pb after %t0
+  %pqb = prb i1$ %q_b
+  %q_b2 = sig i1 %z
+  reg i1$ %q_b2, %pqb rise %pb after %t0
+"""))
+
+
+def test_enable_crossing_is_flagged():
+    diagnostics = _cdc_case("""
+  reg i1$ %q_b, %pown rise %pb if %pqa after %t0
+""")
+    assert diagnostics.codes() == ["CDC001"]
+    assert "enable" in next(iter(diagnostics)).message
+
+
+def test_head_feeding_comb_logic_is_flagged():
+    diagnostics = _cdc_case("""
+  reg i1$ %q_b, %pqa rise %pb after %t0
+  %pqb = prb i1$ %q_b
+  %m = not i1 %pqb
+  %junk = sig i1 %z
+  drv i1$ %junk, %m after %t0
+""")
+    assert diagnostics.codes() == ["CDC001"]
+    assert "combinational logic" in next(iter(diagnostics)).message
+
+
+def test_resampling_in_third_domain_is_flagged():
+    diagnostics = _cdc_case("""
+  %clk_c = sig i1 %z
+  %tc = const time 900ps
+  %pc = prb i1$ %clk_c
+  %nc = not i1 %pc
+  drv i1$ %clk_c, %nc after %tc
+  reg i1$ %q_b, %pqa rise %pb after %t0
+  %pqb = prb i1$ %q_b
+  %q_c = sig i1 %z
+  reg i1$ %q_c, %pqb rise %pc after %t0
+""")
+    assert diagnostics.codes() == ["CDC001"]
+    assert "different domain" in next(iter(diagnostics)).message
+
+
+def test_head_gating_a_register_is_flagged():
+    diagnostics = _cdc_case("""
+  reg i1$ %q_b, %pqa rise %pb after %t0
+  %pqb = prb i1$ %q_b
+  %q_b2 = sig i1 %z
+  reg i1$ %q_b2, %pown rise %pb if %pqb after %t0
+""")
+    assert diagnostics.codes() == ["CDC001"]
+    assert "gates" in next(iter(diagnostics)).message
+
+
+def test_head_mixed_before_second_stage_is_flagged():
+    diagnostics = _cdc_case("""
+  reg i1$ %q_b, %pqa rise %pb after %t0
+  %pqb = prb i1$ %q_b
+  %x = xor i1 %pqb, %pown
+  %q_b2 = sig i1 %z
+  reg i1$ %q_b2, %x rise %pb after %t0
+""")
+    assert diagnostics.codes() == ["CDC001"]
+    assert "mixed" in next(iter(diagnostics)).message
+
+
+# -- static-model corners ------------------------------------------------------
+
+
+def test_del_instruction_builds_an_edge():
+    module = parse_module("""
+entity @t () -> () {
+  %z = const i8 0
+  %t0 = const time 0s
+  %s = sig i8 %z
+  %d = del i8$ %s after %t0
+}
+""")
+    model = DesignModel(module, "t")
+    assert any(clazz == "del" for _, clazz, _ in
+               (d.key for d in model.drivers))
+    assert not len(lint_module(module, "t"))
+
+
+def test_cone_follows_heap_stores():
+    # A zero-delay self-dependency routed through alloc/st/ld memory
+    # must still be seen as a combinational loop.
+    diagnostics = lint_text("""
+proc @p () -> (i1$ %q) {
+entry:
+  %z = const i1 0
+  %t0 = const time 0s
+  %pq = prb i1$ %q
+  %nq = not i1 %pq
+  %v = alloc i1 %z
+  st i1* %v, %nq
+  %l = ld i1* %v
+  drv i1$ %q, %l after %t0
+  wait %entry for %q
+}
+entity @top () -> () {
+  %z = const i1 0
+  %q = sig i1 %z
+  inst @p () -> (i1$ %q)
+}
+""", "top")
+    assert diagnostics.codes() == ["LOOP001"]
+
+
+def test_unknown_top_rejected():
+    module = parse_module("entity @t () -> () {\n}")
+    with pytest.raises(ValueError):
+        DesignModel(module, "nope")
+
+
+def test_non_entity_top_rejected():
+    module = parse_module("""
+proc @p () -> () {
+entry:
+  halt
+}
+""")
+    with pytest.raises(ValueError):
+        DesignModel(module, "p")
+
+
+def test_structural_level_lints_clean():
+    assert not len(lint_design("gray", level="structural"))

@@ -226,7 +226,7 @@ def test_batched_fuzz_matches_per_lane_scalar_runs(name, backend):
 # -- differential fuzz across the lowering pipeline ---------------------------
 
 
-@pytest.mark.parametrize("name", FOUR_STATE_ORDER)
+@pytest.mark.parametrize("name", ALL_DESIGNS)
 def test_fuzzed_stimulus_survives_lowering_to_netlist(name):
     """The X/Z differential splicer, pushed through the full ``lower``
     pipeline and the technology mapper: under hostile nine-valued
@@ -236,20 +236,30 @@ def test_fuzzed_stimulus_survives_lowering_to_netlist(name):
     semantics of the lowered registers to the behavioural eq/not/and
     edge detectors.
 
-    Nine-valued designs only: simultaneous multi-driver collisions
-    resolve commutatively under IEEE 1164, so the comparison is
-    well-defined; an ``iN`` net with two same-instant drivers has no
-    resolution function and its winner is driver-order dependent, which
-    the lowering legitimately reorders.
+    Two-valued designs are comparable too: an ``iN`` net with several
+    same-instant drivers has no resolution function, but since
+    conflicting matured values now raise a deterministic drive-conflict
+    error (naming both drivers), behavioural and netlist runs must agree
+    on fatality rather than silently letting a driver-order-dependent
+    winner through — the same "errored" contract ``_fuzz_run`` applies
+    everywhere else.  Agreeing same-instant drivers remain legal on both
+    sides.  Nine-valued collisions still resolve commutatively under
+    IEEE 1164.
+
+    The stimulus runs a quarter period off the testbenches' 500ps time
+    grid (``phase_fs``): an input transition in the same femtosecond as
+    a clock edge makes the registered view of that input scheduler-
+    dependent, which no lowering can (or should) preserve.
     """
     from repro.interop import netlist_design
     from repro.passes import lower_to_structural
 
     seed = f"{name}:lower"
+    phase = 250_000
     behavioural = compile_design(name, cycles=CYCLES[name])
     exclude = design_driven_names(behavioural, DESIGNS[name].top)
     if not inject_stimulus(behavioural, DESIGNS[name].top, seed=seed,
-                            exclude_names=exclude):
+                            exclude_names=exclude, phase_fs=phase):
         pytest.skip(f"{name}: no injectable input nets")
     verify_module(behavioural)
     ref = _fuzz_run(behavioural, DESIGNS[name].top, "interp")
@@ -259,7 +269,7 @@ def test_fuzzed_stimulus_survives_lowering_to_netlist(name):
     # other testbench process (rejected by deseq/PL, left behavioural).
     lowered = compile_design(name, cycles=CYCLES[name])
     assert inject_stimulus(lowered, DESIGNS[name].top, seed=seed,
-                            exclude_names=exclude)
+                            exclude_names=exclude, phase_fs=phase)
     lower_to_structural(lowered, strict=False, verify=False)
     linked = netlist_design(lowered)
     low = _fuzz_run(linked, DESIGNS[name].top, "interp")
