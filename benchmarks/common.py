@@ -210,7 +210,8 @@ def measure_batch(name, backend, cycles, lanes, runs=1, min_wall=0.04):
 
 def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
                        netlist_designs=(), batch_designs=(),
-                       batch_lanes=(1, 4, 16), batch_backend="blaze"):
+                       batch_lanes=(1, 4, 16), batch_backend="blaze",
+                       levelized_designs=()):
     """Measure ``designs`` under ``backends``; assert identical traces.
 
     Trace identity is checked with dedicated runs at the design's fixed
@@ -220,7 +221,11 @@ def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
     ``netlist_designs`` are *additionally* measured at the netlist level
     (lowered + technology-mapped, zero gate delay), recorded under
     ``<backend>@netlist`` keys; their traces must match the behavioural
-    run signal-for-signal on every shared signal.
+    run signal-for-signal on every shared signal.  Designs listed in
+    ``levelized_designs`` get a ``levelized@netlist`` row the same way —
+    the ahead-of-time compiled cone at the netlist level, whose headline
+    comparison is against the *behavioural* blaze cost (the paper's
+    "netlist as cheap as behavioural" claim).
 
     Designs listed in ``batch_designs`` are additionally measured as
     uniform K-lane batches for each K in ``batch_lanes``, recorded
@@ -245,9 +250,13 @@ def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
             raise AssertionError(
                 f"{name}: traces diverge between {backends[0]} and "
                 f"{', '.join(mismatched)}")
-        if name in netlist_designs:
+        netlist_backends = list(backends) if name in netlist_designs \
+            else []
+        if name in levelized_designs:
+            netlist_backends.append("levelized")
+        if netlist_backends:
             active = reference.trace.live_signals()
-            for backend in backends:
+            for backend in netlist_backends:
                 _, nl = timed_simulation(name, backend, cycles,
                                          netlist=True)
                 # Netlist traces add cell nets; every *changing* signal
@@ -281,10 +290,9 @@ def run_sim_benchmarks(designs, backends=("interp", "blaze"), runs=1,
         for backend in backends:
             per_backend[backend] = measure_backend(
                 name, backend, cycles, runs=runs)
-        if name in netlist_designs:
-            for backend in backends:
-                per_backend[f"{backend}@netlist"] = measure_backend(
-                    name, backend, cycles, runs=runs, netlist=True)
+        for backend in netlist_backends:
+            per_backend[f"{backend}@netlist"] = measure_backend(
+                name, backend, cycles, runs=runs, netlist=True)
         if name in batch_designs:
             for lanes in batch_lanes:
                 per_backend[f"{batch_backend}@b{lanes}"] = measure_batch(
@@ -325,14 +333,57 @@ def merge_bench_json(path, label, results, meta=None):
 # -- bench-regression gate -----------------------------------------------------
 
 
-def baseline_from_results(results, meta=None):
+def netlist_cost_ratios(results):
+    """Per-design netlist/behavioural marginal-cost ratios.
+
+    Returns ``{name: {"<engine>_netlist_cost": ratio}}`` for every
+    design with both rows: ``interp``/``blaze`` against their own
+    behavioural run, and ``levelized@netlist`` against the *behavioural
+    blaze* cost — the engine has no behavioural mode, and "netlist as
+    cheap as compiled behavioural" is the claim the ratio gates.
+    Ratios are machine-speed-free by construction, so the CI gate
+    compares them against committed ceilings without normalization.
+    """
+    out = {}
+    for name, entry in results.items():
+        rows = entry["backends"]
+        ratios = {}
+        for engine in ("interp", "blaze"):
+            base = rows.get(engine, {}).get("per_cycle_us")
+            netlist = rows.get(f"{engine}@netlist", {}).get("per_cycle_us")
+            if base and netlist:
+                ratios[f"{engine}_netlist_cost"] = netlist / base
+        blaze = rows.get("blaze", {}).get("per_cycle_us")
+        levelized = rows.get("levelized@netlist", {}).get("per_cycle_us")
+        if blaze and levelized:
+            ratios["levelized_netlist_cost"] = levelized / blaze
+        if ratios:
+            out[name] = ratios
+    return out
+
+
+def baseline_from_results(results, meta=None, ceiling_headroom=0.5):
     """A flat committed-baseline document from one measurement set:
-    ``designs.<name>.<engine> -> marginal us/cycle``."""
+    ``designs.<name>.<engine> -> marginal us/cycle``, plus per-design
+    ``netlist_cost_ceilings`` — the measured netlist/behavioural ratio
+    with ``ceiling_headroom`` slack, which the bench gate enforces as an
+    absolute ceiling (ratios cancel machine speed, so no normalization
+    applies to them).  The headroom is wider than the marginal-cost
+    tolerance because a ratio divides two *separately timed* legs — a
+    load spike during either leg moves it both ways — while the failure
+    mode it guards against (cells falling back to event-driven
+    execution) shifts ratios by 2–9x, far beyond any noise."""
     doc = {"designs": {}, "meta": dict(meta or {})}
     for name, entry in results.items():
         doc["designs"][name] = {
             engine: m["per_cycle_us"]
             for engine, m in entry["backends"].items()}
+    ceilings = {
+        name: {key: round(ratio * (1.0 + ceiling_headroom), 2)
+               for key, ratio in ratios.items()}
+        for name, ratios in netlist_cost_ratios(results).items()}
+    if ceilings:
+        doc["netlist_cost_ceilings"] = ceilings
     return doc
 
 
@@ -345,6 +396,13 @@ def compare_to_baseline(results, baseline, tolerance=0.25, normalize=True):
     geometric mean ratio across all shared cells first, so a uniformly
     faster or slower machine (CI runners vary) cancels out and only
     *relative* per-cell regressions fire the gate.
+
+    When the baseline carries ``netlist_cost_ceilings``, each design's
+    measured netlist/behavioural marginal-cost ratio is additionally
+    gated against its committed ceiling — an *absolute* check (the
+    ratio already cancels machine speed), so a netlist engine that
+    regresses relative to its behavioural reference fails even when
+    every individual cell drifts uniformly.
     """
     import math
 
@@ -373,6 +431,22 @@ def compare_to_baseline(results, baseline, tolerance=0.25, normalize=True):
             flag = f"  REGRESSION (> {tolerance:.0%})"
         lines.append(
             f"  {name:18s} {engine:14s} {rel:6.2f}x vs baseline{flag}")
+    ceilings = baseline.get("netlist_cost_ceilings", {})
+    if ceilings:
+        measured = netlist_cost_ratios(results)
+        lines.append("netlist-cost ceilings (netlist/behavioural ratio, "
+                     "absolute):")
+        for name in sorted(measured):
+            for key, ratio in sorted(measured[name].items()):
+                ceiling = ceilings.get(name, {}).get(key)
+                if ceiling is None:
+                    continue
+                flag = ""
+                if ratio > ceiling:
+                    regressions.append((name, key, ratio / ceiling))
+                    flag = "  REGRESSION (above ceiling)"
+                lines.append(f"  {name:18s} {key:22s} {ratio:6.2f}x "
+                             f"(ceiling {ceiling:.2f}x){flag}")
     return regressions, lines
 
 
@@ -397,5 +471,12 @@ def _annotate_speedups(slot):
         if base and netlist:
             # >1: how much slower gate-level granularity simulates.
             speedup[f"{engine}_netlist_cost"] = round(netlist / base, 2)
+    blaze = newest.get("blaze", {}).get("per_cycle_us")
+    levelized = newest.get("levelized@netlist", {}).get("per_cycle_us")
+    if blaze and levelized:
+        # The levelized engine has no behavioural mode; its cost ratio
+        # is against the compiled *behavioural* reference (the paper's
+        # netlist-as-cheap-as-behavioural claim, target <= 1.5x).
+        speedup["levelized_netlist_cost"] = round(levelized / blaze, 2)
     if speedup:
         slot["speedup"] = speedup

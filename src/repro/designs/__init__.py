@@ -176,7 +176,48 @@ def deepest_level(name, cycles=4):
     return [s for s in STAGES if reach[s]][-1]
 
 
+def netlist_engine_report(name, cycles=4):
+    """Which simulation engines the design's netlist level supports.
+
+    Returns ``(engines, notes)``: the supported engine names in
+    :data:`repro.sim.BACKENDS` order, and human-readable notes — the
+    levelized-ineligibility reason when that engine is absent, or its
+    per-cell event-driven fallbacks and combinational-cycle diagnoses
+    when it is present but degraded.  The event-driven engines simulate
+    any well-formed module, so only the levelized engine needs probing
+    (in analysis mode: absorption + levelization without code
+    generation).  Raises if the design does not reach the netlist level
+    — gate on :func:`stage_reach` first.
+    """
+    from ..interop import netlist_design
+    from ..passes.pipeline import lower_to_structural
+    from ..sim import BACKENDS, SimulationError
+    from ..sim.levelize import elaborate_levelized
+
+    module = compile_design(name, cycles=cycles)
+    lower_to_structural(module, strict=False, verify=False)
+    linked = netlist_design(module)
+    engines = [e for e in BACKENDS if e != "levelized"]
+    notes = []
+    try:
+        design = elaborate_levelized(linked, DESIGNS[name].top,
+                                     analysis=True)
+    except SimulationError as exc:
+        notes.append(f"levelized ineligible: {exc}")
+        return engines, notes
+    engines.append("levelized")
+    report = design.report
+    for path, why in report.get("fallbacks", []):
+        notes.append(f"levelized event-driven fallback {path}: {why}")
+    for members in report.get("cycles", []):
+        notes.append("levelized iterative settle (combinational "
+                     f"cycle): {', '.join(members[:4])}"
+                     + (" ..." if len(members) > 4 else ""))
+    return engines, notes
+
+
 __all__ = ["ALL_DESIGNS", "DESIGNS", "Design", "FOUR_STATE_ORDER",
            "NETLIST_DESIGNS", "STAGES", "TABLE2_ORDER",
            "base_design_name", "compile_design", "deepest_level",
-           "expand_cycle_budgets", "simulate_design", "stage_reach"]
+           "expand_cycle_budgets", "netlist_engine_report",
+           "simulate_design", "stage_reach"]

@@ -789,6 +789,191 @@ class _MapContext:
         self.builder.inst(name, inputs, [root_sig])
 
 
+# -- pure cell evaluation forms ------------------------------------------------
+#
+# The levelized netlist engine (repro.sim.levelize) compiles the whole
+# combinational cone into straight-line code.  For that it needs each
+# library cell reduced to a *pure evaluation form*: a guarantee that the
+# cell body is a side-effect-free function of its input ports (comb
+# cells), or exactly one ``reg`` storage element behind a static
+# projection (sequential cells).  The forms are recovered from the cell
+# entity itself, so any entity shaped like a library cell qualifies —
+# the classifier does not depend on mapper-private state.
+
+#: Side-effect-free opcodes allowed in a combinational cell body.
+_PURE_CELL_OPS = frozenset({
+    "const", "add", "sub", "mul", "udiv", "sdiv", "umod", "smod", "urem",
+    "srem", "and", "or", "xor", "not", "neg", "shl", "shr", "eq", "neq",
+    "ult", "ugt", "ule", "uge", "slt", "sgt", "sle", "sge", "zext", "sext",
+    "trunc", "array", "struct", "mux", "inss", "insf", "extf", "exts",
+})
+
+
+class CombCellForm:
+    """A combinational cell: pure ops from input probes to one drive.
+
+    ``delay`` is the cell's propagation delay (the drive's constant
+    delay).  The body itself (``unit.body``) is the evaluation recipe;
+    consumers walk it knowing every instruction is either a probe of an
+    input port (possibly through a static/dynamic projection), a pure
+    op, the delay constant, or the single output drive.
+    """
+
+    kind = "comb"
+    __slots__ = ("unit", "delay")
+
+    def __init__(self, unit, delay):
+        self.unit = unit
+        self.delay = delay
+
+
+class SeqCellForm:
+    """A sequential cell: one ``reg`` behind a projection of the output.
+
+    * ``steps`` — projection path from the output port to the storage
+      target: ``("field", int)``, ``("fielddyn", arg_pos)`` for a
+      dynamic index read from input port ``arg_pos``, or
+      ``("slice", offset, length)``;
+    * ``triggers`` — per-trigger tuples ``(mode, data_pos, trigger_pos,
+      cond_pos_or_None, delay_or_None)`` where positions index
+      ``unit.args`` and ``delay`` is the trigger's constant ``after``
+      time (``None`` meaning the implicit epsilon step).
+    """
+
+    kind = "seq"
+    __slots__ = ("unit", "steps", "triggers")
+
+    def __init__(self, unit, steps, triggers):
+        self.unit = unit
+        self.steps = tuple(steps)
+        self.triggers = tuple(triggers)
+
+
+def cell_eval_form(unit):
+    """Classify an entity as a library cell; None when it is not one.
+
+    Returns a :class:`CombCellForm` for bodies that are a pure function
+    of the inputs feeding exactly one unconditional constant-delay drive
+    of the sole output, a :class:`SeqCellForm` for bodies that are
+    exactly one ``reg`` on (a projection of) the sole output, and
+    ``None`` for anything else — hierarchical cells, mixed bodies, and
+    ordinary structural entities all fall out here.
+    """
+    if not getattr(unit, "is_entity", False):
+        return None
+    if len(unit.outputs) != 1:
+        return None
+    body = list(unit.body)
+    has_reg = any(i.opcode == "reg" for i in body)
+    if has_reg:
+        return _seq_cell_form(unit, body)
+    return _comb_cell_form(unit, body)
+
+
+def _prb_arg_pos(inst, arg_pos):
+    """The input-port position a ``prb`` reads, or None."""
+    if inst is None or inst.opcode != "prb":
+        return None
+    return arg_pos.get(id(inst.operands[0]))
+
+
+def _comb_cell_form(unit, body):
+    arg_pos = {id(a): i for i, a in enumerate(unit.args)}
+    inputs = {id(a) for a in unit.inputs}
+    out_arg = unit.outputs[0]
+    drive = None
+    for inst in body:
+        op = inst.opcode
+        if op == "drv":
+            if drive is not None or inst.drv_condition() is not None:
+                return None
+            if inst.drv_signal() is not out_arg:
+                return None
+            delay_op = inst.drv_delay()
+            if getattr(delay_op, "opcode", None) != "const":
+                return None
+            drive = inst
+        elif op == "prb":
+            src = inst.operands[0]
+            if id(src) in inputs:
+                continue
+            # A projected input port (read-port wiring cells): the
+            # chain must bottom out at an input, with dynamic indices
+            # probed from input ports.
+            root, steps = _projection_steps(src)
+            if root is None or id(root) not in inputs:
+                return None
+            for step in steps:
+                if step[0] == "field" and not isinstance(step[1], int) \
+                        and _prb_arg_pos(step[1], arg_pos) is None:
+                    return None
+        elif op in ("extf", "exts") and inst.type.is_signal:
+            continue  # part of an input projection chain, handled at prb
+        elif op in _PURE_CELL_OPS:
+            continue
+        else:
+            return None
+    if drive is None:
+        return None
+    return CombCellForm(unit, drive.drv_delay().attrs["value"])
+
+
+def _seq_cell_form(unit, body):
+    arg_pos = {id(a): i for i, a in enumerate(unit.args)}
+    inputs = {id(a) for a in unit.inputs}
+    out_arg = unit.outputs[0]
+    reg = None
+    for inst in body:
+        op = inst.opcode
+        if op == "reg":
+            if reg is not None:
+                return None
+            reg = inst
+        elif op == "prb":
+            if id(inst.operands[0]) not in inputs:
+                return None
+        elif op in ("extf", "exts") and inst.type.is_signal:
+            continue  # the storage projection chain, validated below
+        elif op == "const":
+            continue  # trigger delays
+        else:
+            return None
+    if reg is None:
+        return None
+    root, steps = _projection_steps(reg.reg_signal())
+    if root is not out_arg:
+        return None
+    form_steps = []
+    for step in steps:
+        if step[0] == "slice":
+            form_steps.append(step)
+        elif isinstance(step[1], int):
+            form_steps.append(("field", step[1]))
+        else:
+            pos = _prb_arg_pos(step[1], arg_pos)
+            if pos is None or id(unit.args[pos]) not in inputs:
+                return None
+            form_steps.append(("fielddyn", pos))
+    triggers = []
+    for t in reg.reg_triggers():
+        data_pos = _prb_arg_pos(t["value"], arg_pos)
+        trig_pos = _prb_arg_pos(t["trigger"], arg_pos)
+        if data_pos is None or trig_pos is None:
+            return None
+        cond_pos = None
+        if t["cond"] is not None:
+            cond_pos = _prb_arg_pos(t["cond"], arg_pos)
+            if cond_pos is None:
+                return None
+        delay = None
+        if t["delay"] is not None:
+            if getattr(t["delay"], "opcode", None) != "const":
+                return None
+            delay = t["delay"].attrs["value"]
+        triggers.append((t["mode"], data_pos, trig_pos, cond_pos, delay))
+    return SeqCellForm(unit, form_steps, triggers)
+
+
 def _default_const(builder, ty):
     if ty.is_logic:
         return builder.const_logic(LogicVec.from_int(0, ty.width))

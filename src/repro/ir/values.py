@@ -106,10 +106,21 @@ class Use:
 class Value:
     """Base class for everything that can appear as an operand."""
 
+    #: Monotonic creation counter.  ``serial`` gives every value a total
+    #: order that tracks construction order — unlike ``id()``, which the
+    #: allocator hands out arbitrarily, so two compiles of the same
+    #: source agree on relative serials.  Passes that need a
+    #: deterministic tie-break (e.g. DNF term ordering in deseq) sort by
+    #: it; anything ordered by ``id()`` would flip run to run and leak
+    #: into the emitted IR, breaking bitcode-hash-keyed caches.
+    _next_serial = 0
+
     def __init__(self, type, name=None):
         self.type = type
         self.name = name
         self.uses = []
+        self.serial = Value._next_serial
+        Value._next_serial += 1
 
     @property
     def is_used(self):

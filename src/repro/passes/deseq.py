@@ -154,7 +154,7 @@ def _analyze_drive(drv, b0, b1):
         present = {}
         opaque = []
         for value, positive in sorted(
-                literals(term), key=lambda lit: id(lit[0])):
+                literals(term), key=lambda lit: lit[0].serial):
             kind, root, level, probe = _classify_literal(value, b0, b1)
             if kind == "past":
                 if (id(root), level) in past:
@@ -202,7 +202,7 @@ def _analyze_drive(drv, b0, b1):
         for value, positive in literals(term):
             assignment[id(value)] = 1 if positive else 0
         ordered = sorted(present.items(),
-                         key=lambda kv: (kv[0][0], kv[0][1] or 0))
+                         key=lambda kv: (kv[1][2].serial, kv[0][1] or 0))
         if edges:
             mode, trigger_value, edge_key = edges[0]
             for key, (q_val, q_pos, _, _probe) in ordered:

@@ -125,9 +125,16 @@ def literals(term):
 
 
 def terms(dnf):
-    """The conjunction terms of a DNF, deterministically ordered."""
+    """The conjunction terms of a DNF, deterministically ordered.
+
+    Ordered by the literals' creation serials and polarities, not
+    ``id()``: the term order reaches the emitted ``reg`` trigger order,
+    and ``id()`` varies between compiles of identical source.  Polarity
+    breaks the tie between terms over the same values (x∧¬y vs ¬x∧y),
+    which would otherwise fall back to arbitrary set iteration order.
+    """
     return sorted(simplify_dnf(dnf),
-                  key=lambda t: sorted(k for k, _v, _p in t))
+                  key=lambda t: sorted((v.serial, p) for _k, v, p in t))
 
 
 def evaluate_dnf(dnf, assignment):

@@ -1,6 +1,7 @@
 """Simulation of LLHD designs.
 
-Three simulators, as in the paper's evaluation (section 6.1):
+Four simulators — the three of the paper's evaluation (section 6.1)
+plus a levelized netlist engine:
 
 * ``interp`` — *LLHD-Sim*, the reference interpreter: deliberately the
   simplest possible simulator of the instruction set.
@@ -9,8 +10,13 @@ Three simulators, as in the paper's evaluation (section 6.1):
 * ``cycle`` — an independently implemented, statically scheduled
   compiled-code simulator standing in for the paper's commercial
   simulator baseline (see DESIGN.md, substitution 1).
+* ``levelized`` — ahead-of-time compiled execution of netlist designs:
+  techmap library cells are levelized into straight-line generated
+  code (cached on disk, keyed by the module's bitcode hash) with
+  storage cells as sequential cut points; zero scheduler events per
+  gate (see :mod:`repro.sim.levelize`).
 
-All three produce :class:`~repro.sim.trace.Trace` objects that can be
+All four produce :class:`~repro.sim.trace.Trace` objects that can be
 compared for equivalence — the paper's "traces match" claim.
 """
 
@@ -23,7 +29,7 @@ from .engine import Kernel, SignalInstance, SignalRef, advance_time
 from .trace import Trace
 from .values import SimulationError, default_value
 
-BACKENDS = ("interp", "blaze", "cycle")
+BACKENDS = ("interp", "blaze", "cycle", "levelized")
 
 
 class SimulationResult:
@@ -55,14 +61,15 @@ class SimulationResult:
 
 
 def simulate(module, top, until_fs=None, backend="interp",
-             trace_filter=None, sanitize=False):
+             trace_filter=None, sanitize=False, cache_dir=None):
     """Elaborate and simulate ``module`` from entity ``top``.
 
     Returns a :class:`SimulationResult` whose trace records every signal
     value change (filtered by ``trace_filter(signal) -> bool`` if given).
     With ``sanitize=True`` the scheduler records drive races and
     oscillations as :class:`~repro.sim.sanitize.Finding` objects instead
-    of raising, exposed as ``result.findings``.
+    of raising, exposed as ``result.findings``.  ``cache_dir`` overrides
+    the levelized engine's on-disk compile cache location.
     """
     trace = Trace(trace_filter)
     if backend == "interp":
@@ -78,6 +85,14 @@ def simulate(module, top, until_fs=None, backend="interp",
         from .cycle import elaborate_cycle as elaborator
 
         kernel = CycleKernel(trace=trace)
+    elif backend == "levelized":
+        from .levelize import elaborate_levelized
+
+        kernel = Kernel(trace=trace)
+
+        def elaborator(module, top, kernel, _dir=cache_dir):
+            return elaborate_levelized(module, top, kernel,
+                                       cache_dir=_dir)
     else:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -1,11 +1,12 @@
 """``python -m repro.sim`` — the paper's ``llhd-sim`` tool.
 
-Elaborates an LLHD module and simulates it with one of the three
+Elaborates an LLHD module and simulates it with one of the four
 engines::
 
     python -m repro.sim design.llhd --top top
     python -m repro.sim design.llhd --engine blaze --until 100ns --stats
     python -m repro.sim --design fifo --cycles 60 --engine blaze
+    python -m repro.sim --design fifo --engine levelized --stats
     python -m repro.sim design.llhd --vcd out.vcd --trace
     python -m repro.sim --design fifo --batch 16 --stats
     python -m repro.sim --design fifo --batch 8 --seed-stride 1 --stats
@@ -13,9 +14,13 @@ engines::
 Input is either an ``.llhd`` file (``-`` reads stdin) or a named design
 from the evaluation suite (``--design``, see ``--list-designs``).  The
 engine is ``interp`` (LLHD-Sim, the reference interpreter), ``blaze``
-(the compiled simulator), or ``cycle`` (the independent two-phase
-baseline).  ``--cross-check`` runs interp *and* blaze and verifies the
-traces are identical before reporting.
+(the compiled simulator), ``cycle`` (the independent two-phase
+baseline), or ``levelized`` (the ahead-of-time compiled netlist
+engine; with ``--design`` it implies ``--netlist``, which lowers the
+design through structural lowering and technology mapping first).
+``--cross-check`` runs interp *and* blaze — plus levelized when the
+module is at the netlist level — and verifies the traces are identical
+before reporting.
 """
 
 from __future__ import annotations
@@ -64,6 +69,15 @@ def _build_parser():
     parser.add_argument(
         "-e", "--engine", default="interp", choices=BACKENDS,
         help="simulation engine (default: interp)")
+    parser.add_argument(
+        "--netlist", action="store_true",
+        help="with --design: lower to the netlist level (structural "
+             "lowering + technology mapping) before simulating; implied "
+             "by --engine levelized")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="levelized compile-cache directory (default: "
+             "$REPRO_CACHE_DIR, else ~/.cache/repro)")
     parser.add_argument(
         "--until", metavar="TIME", default=None,
         help="stop at this time (e.g. 100ns, 2500 = fs)")
@@ -118,6 +132,12 @@ def _load_module(args, parser):
                 f"unknown design {args.design!r}; see --list-designs")
         module = compile_design(args.design, cycles=args.cycles)
         top = args.top or DESIGNS[args.design].top
+        if args.netlist or args.engine == "levelized":
+            from ..interop import netlist_design
+            from ..passes.pipeline import lower_to_structural
+
+            lower_to_structural(module, strict=False, verify=False)
+            module = netlist_design(module)
         return module, top
     if not args.file:
         parser.error("an input file or --design is required")
@@ -161,6 +181,14 @@ def _report(result, args):
         print(f"# finished at {result.final_time_fs}fs: "
               f"{stats['deltas']} deltas, {stats['events']} events, "
               f"{stats['activations']} activations", file=sys.stderr)
+        if "cache_hits" in stats:
+            print(f"# levelized cache: {stats['cache_hits']} hits, "
+                  f"{stats['cache_misses']} misses, "
+                  f"{stats['cache_errors']} errors; cone "
+                  f"{stats.get('cone_nets', 0)} nets / "
+                  f"{stats.get('cone_gates', 0)} gates / "
+                  f"{stats.get('cone_seqs', 0)} storage cells",
+                  file=sys.stderr)
     if args.trace:
         trace = result.trace
         for name in trace.signals():
@@ -247,8 +275,18 @@ def main(argv=None):
         parser.error("--seed-stride requires --batch")
     if args.sanitize and args.batch is not None:
         parser.error("--sanitize does not support batched lanes")
+    if args.engine == "levelized":
+        if args.sanitize:
+            parser.error(
+                "--sanitize does not support the levelized engine (the "
+                "cone bypasses the scheduler the sanitizer instruments)")
+        if args.batch is not None:
+            parser.error(
+                "--batch does not support the levelized engine")
     if args.list_designs:
-        from ..designs import ALL_DESIGNS, DESIGNS, stage_reach
+        from ..designs import (
+            ALL_DESIGNS, DESIGNS, netlist_engine_report, stage_reach,
+        )
         from ..lint import lint_design
 
         for name in ALL_DESIGNS:
@@ -265,10 +303,19 @@ def main(argv=None):
                 continue
             reach, rejections = stage_reach(name)
             deepest = [s for s, ok in reach.items() if ok][-1]
-            print(f"{prefix} reach {deepest:12s} lint {lint:12s} "
+            if reach["netlist"]:
+                try:
+                    engines, notes = netlist_engine_report(name)
+                except Exception as exc:  # must never break the listing
+                    engines, notes = [], [f"engine probe failed: {exc}"]
+                deepest = f"{deepest}[{','.join(engines)}]"
+            print(f"{prefix} reach {deepest} lint {lint:12s} "
                   f"{design.paper_name}")
             for proc, why in rejections:
                 print(f"{'':21s} rejected @{proc}: {why}")
+            if reach["netlist"]:
+                for note in notes:
+                    print(f"{'':21s} {note}")
         return 0
     module, top = _load_module(args, parser)
     until_fs = parse_time_fs(args.until) if args.until else None
@@ -288,22 +335,36 @@ def main(argv=None):
 
     try:
         if args.cross_check:
-            reference = simulate(module, top, until_fs=until_fs,
-                                 backend="interp", sanitize=args.sanitize)
-            result = simulate(module, top, until_fs=until_fs,
-                              backend="blaze", sanitize=args.sanitize)
-            differences = reference.trace.differences(result.trace)
-            if differences:
-                print("error: interp and blaze traces diverge:",
-                      file=sys.stderr)
-                for issue in differences:
-                    print(f"  {issue}", file=sys.stderr)
-                return 2
-            print("# traces identical across interp and blaze",
+            engines = ["interp", "blaze"]
+            # Include the levelized engine whenever the module is (or
+            # was just lowered to) the netlist level; the sanitizer
+            # cannot instrument the cone, so it keeps the pair.
+            if (args.netlist or args.engine == "levelized") \
+                    and not args.sanitize:
+                engines.append("levelized")
+            runs = {}
+            for backend in engines:
+                runs[backend] = simulate(
+                    module, top, until_fs=until_fs, backend=backend,
+                    sanitize=args.sanitize and backend != "levelized",
+                    cache_dir=args.cache_dir)
+            reference = runs["interp"]
+            for backend in engines[1:]:
+                differences = reference.trace.differences(
+                    runs[backend].trace)
+                if differences:
+                    print(f"error: interp and {backend} traces diverge:",
+                          file=sys.stderr)
+                    for issue in differences:
+                        print(f"  {issue}", file=sys.stderr)
+                    return 2
+            print(f"# traces identical across {', '.join(engines)}",
                   file=sys.stderr)
+            result = runs.get(args.engine, runs["blaze"])
         else:
             result = simulate(module, top, until_fs=until_fs,
-                              backend=args.engine, sanitize=args.sanitize)
+                              backend=args.engine, sanitize=args.sanitize,
+                              cache_dir=args.cache_dir)
     except SimulationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,429 @@
+"""Levelized netlist engine: edge cases the suite designs under-cover.
+
+The 22-design staged harness (test_semantic_preservation) already holds
+the levelized engine to byte-identical traces at the netlist level; the
+tests here pin down the corners: latch cells, register-cut feedback,
+multi-clock-domain cones, zero-delay combinational cycles, per-cell
+event-driven fallbacks, the multi-driver diagnosis, and the on-disk
+compile cache (cold/warm/corrupted/stale).
+"""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.sim import SimulationError, simulate
+from repro.sim.compiled import ENGINE_VERSION, cone_cache_key
+from repro.sim.levelize import elaborate_levelized
+
+# A transparent-high latch cell: the storage cell techmap emits for a
+# level-sensitive reg (mode ``high`` fires on every evaluation while
+# the enable is high).
+_LATCH = """
+entity @cell_latch_i8 (i8$ %d0, i1$ %t0) -> (i8$ %q) {
+  %0 = prb i8$ %d0
+  %1 = prb i1$ %t0
+  %2 = const time 0s
+  reg i8$ %q, %0 high %1 after %2
+}
+
+proc @stim () -> (i8$ %d, i1$ %en) {
+b0:
+  %t = const time 1ns
+  %t0 = const time 0s
+  %one = const i1 1
+  %zero = const i1 0
+  %v1 = const i8 17
+  %v2 = const i8 42
+  %v3 = const i8 99
+  drv i8$ %d, %v1 after %t0
+  drv i1$ %en, %one after %t0
+  wait %b1 for %t
+b1:
+  drv i8$ %d, %v2 after %t0
+  wait %b2 for %t
+b2:
+  drv i1$ %en, %zero after %t0
+  wait %b3 for %t
+b3:
+  drv i8$ %d, %v3 after %t0
+  wait %b4 for %t
+b4:
+  halt
+}
+
+entity @top () -> () {
+  %z8 = const i8 0
+  %z1 = const i1 0
+  %d = sig i8 %z8
+  %en = sig i1 %z1
+  %q = sig i8 %z8
+  inst @cell_latch_i8 (i8$ %d, i1$ %en) -> (i8$ %q)
+  inst @stim () -> (i8$ %d, i1$ %en)
+}
+"""
+
+# A toggle flip-flop: the feedback path q -> inverter -> d is cut only
+# by the register, so the combinational part must levelize acyclically.
+_TOGGLE = """
+entity @cell_inv_i1 (i1$ %a0) -> (i1$ %y) {
+  %0 = prb i1$ %a0
+  %t = const time 0s
+  %n = not i1 %0
+  drv i1$ %y, %n after %t
+}
+
+entity @cell_dff_i1 (i1$ %d0, i1$ %t0) -> (i1$ %q) {
+  %0 = prb i1$ %d0
+  %1 = prb i1$ %t0
+  %t = const time 0s
+  reg i1$ %q, %0 rise %1 after %t
+}
+
+proc @clkgen () -> (i1$ %clk) {
+b0:
+  %half = const time 1ns
+  %t0 = const time 0s
+  %one = const i1 1
+  %zero = const i1 0
+  drv i1$ %clk, %one after %t0
+  wait %b1 for %half
+b1:
+  drv i1$ %clk, %zero after %t0
+  wait %b2 for %half
+b2:
+  br %b0
+}
+
+entity @top () -> () {
+  %z1 = const i1 0
+  %clk = sig i1 %z1
+  %q = sig i1 %z1
+  %d = sig i1 %z1
+  inst @cell_inv_i1 (i1$ %q) -> (i1$ %d)
+  inst @cell_dff_i1 (i1$ %d, i1$ %clk) -> (i1$ %q)
+  inst @clkgen () -> (i1$ %clk)
+}
+"""
+
+# Two independent clock domains (1ns and 1.5ns half-periods), each a
+# toggle flip-flop — the plan builds one specialized settle function
+# per clock net.
+_TWO_CLOCKS = """
+entity @cell_inv_i1 (i1$ %a0) -> (i1$ %y) {
+  %0 = prb i1$ %a0
+  %t = const time 0s
+  %n = not i1 %0
+  drv i1$ %y, %n after %t
+}
+
+entity @cell_dff_i1 (i1$ %d0, i1$ %t0) -> (i1$ %q) {
+  %0 = prb i1$ %d0
+  %1 = prb i1$ %t0
+  %t = const time 0s
+  reg i1$ %q, %0 rise %1 after %t
+}
+
+proc @clkgen_a () -> (i1$ %clk) {
+b0:
+  %half = const time 1ns
+  %t0 = const time 0s
+  %one = const i1 1
+  %zero = const i1 0
+  drv i1$ %clk, %one after %t0
+  wait %b1 for %half
+b1:
+  drv i1$ %clk, %zero after %t0
+  wait %b2 for %half
+b2:
+  br %b0
+}
+
+proc @clkgen_b () -> (i1$ %clk) {
+b0:
+  %half = const time 1500ps
+  %t0 = const time 0s
+  %one = const i1 1
+  %zero = const i1 0
+  drv i1$ %clk, %one after %t0
+  wait %b1 for %half
+b1:
+  drv i1$ %clk, %zero after %t0
+  wait %b2 for %half
+b2:
+  br %b0
+}
+
+entity @top () -> () {
+  %z1 = const i1 0
+  %clka = sig i1 %z1
+  %clkb = sig i1 %z1
+  %qa = sig i1 %z1
+  %qb = sig i1 %z1
+  %da = sig i1 %z1
+  %db = sig i1 %z1
+  inst @cell_inv_i1 (i1$ %qa) -> (i1$ %da)
+  inst @cell_dff_i1 (i1$ %da, i1$ %clka) -> (i1$ %qa)
+  inst @cell_inv_i1 (i1$ %qb) -> (i1$ %db)
+  inst @cell_dff_i1 (i1$ %db, i1$ %clkb) -> (i1$ %qb)
+  inst @clkgen_a () -> (i1$ %clka)
+  inst @clkgen_b () -> (i1$ %clkb)
+}
+"""
+
+# A cross-coupled NOR pair (SR latch built from gates): the two gates
+# form a zero-delay cycle that cannot levelize — the cone must diagnose
+# it and still settle the stable stimulus by fixpoint iteration.
+_SR_LATCH = """
+entity @cell_nor_i1 (i1$ %a0, i1$ %a1) -> (i1$ %y) {
+  %0 = prb i1$ %a0
+  %1 = prb i1$ %a1
+  %t = const time 0s
+  %o = or i1 %0, %1
+  %n = not i1 %o
+  drv i1$ %y, %n after %t
+}
+
+proc @stim () -> (i1$ %s, i1$ %r) {
+b0:
+  %t = const time 1ns
+  %t0 = const time 0s
+  %one = const i1 1
+  %zero = const i1 0
+  drv i1$ %s, %one after %t0
+  wait %b1 for %t
+b1:
+  drv i1$ %s, %zero after %t0
+  wait %b2 for %t
+b2:
+  drv i1$ %r, %one after %t0
+  wait %b3 for %t
+b3:
+  halt
+}
+
+entity @top () -> () {
+  %z1 = const i1 0
+  %s = sig i1 %z1
+  %r = sig i1 %z1
+  %q = sig i1 %z1
+  %qn = sig i1 %z1
+  inst @cell_nor_i1 (i1$ %r, i1$ %qn) -> (i1$ %q)
+  inst @cell_nor_i1 (i1$ %s, i1$ %q) -> (i1$ %qn)
+  inst @stim () -> (i1$ %s, i1$ %r)
+}
+"""
+
+# A "cell" with a non-zero gate delay: recognized as combinational but
+# not absorbable (the cone is zero-delay), so it must fall back to the
+# event-driven machinery — and the hybrid still traces identically.
+_SLOW_CELL = """
+entity @cell_slow_inv (i1$ %a0) -> (i1$ %y) {
+  %0 = prb i1$ %a0
+  %t = const time 1ns
+  %n = not i1 %0
+  drv i1$ %y, %n after %t
+}
+
+proc @stim () -> (i1$ %a) {
+b0:
+  %t = const time 2ns
+  %t0 = const time 0s
+  %one = const i1 1
+  drv i1$ %a, %one after %t0
+  wait %b1 for %t
+b1:
+  halt
+}
+
+entity @top () -> () {
+  %z1 = const i1 0
+  %a = sig i1 %z1
+  %y = sig i1 %z1
+  inst @cell_slow_inv (i1$ %a) -> (i1$ %y)
+  inst @stim () -> (i1$ %a)
+}
+"""
+
+# Two combinational cells driving the same net: not a levelizable
+# netlist, and the diagnosis must name the net.
+_MULTI_DRIVER = """
+entity @cell_inv_i1 (i1$ %a0) -> (i1$ %y) {
+  %0 = prb i1$ %a0
+  %t = const time 0s
+  %n = not i1 %0
+  drv i1$ %y, %n after %t
+}
+
+entity @top () -> () {
+  %z1 = const i1 0
+  %a = sig i1 %z1
+  %b = sig i1 %z1
+  %y = sig i1 %z1
+  inst @cell_inv_i1 (i1$ %a) -> (i1$ %y)
+  inst @cell_inv_i1 (i1$ %b) -> (i1$ %y)
+}
+"""
+
+
+def _run_both(source, top="top", until_fs=None, cache_dir=None):
+    """Simulate under interp and levelized; assert identical traces."""
+    ref = simulate(parse_module(source), top, until_fs=until_fs)
+    res = simulate(parse_module(source), top, until_fs=until_fs,
+                   backend="levelized", cache_dir=cache_dir)
+    assert ref.trace.differences(res.trace) == []
+    assert res.assertion_failures == ref.assertion_failures
+    return res
+
+
+def test_latch_cell_absorbed(tmp_path):
+    res = _run_both(_LATCH, cache_dir=str(tmp_path))
+    report = res.design.report
+    assert report["seqs"] == 1
+    assert report["fallbacks"] == []
+    # The latch tracked the data while transparent and held it after.
+    history = dict(res.trace.finalize().changes)["top.q"]
+    assert history[-1][1] == 42
+
+
+def test_register_cut_feedback_levelizes(tmp_path):
+    res = _run_both(_TOGGLE, until_fs=20_000_000, cache_dir=str(tmp_path))
+    report = res.design.report
+    assert report["gates"] == 1 and report["seqs"] == 1
+    assert report["cycles"] == []
+    # The register actually toggled.
+    history = dict(res.trace.finalize().changes)["top.q"]
+    assert len(history) > 4
+
+
+def test_multi_clock_domains(tmp_path):
+    res = _run_both(_TWO_CLOCKS, until_fs=30_000_000,
+                    cache_dir=str(tmp_path))
+    cone = res.design.cone
+    assert len(cone.domains) == 2
+    # Each domain's specialized function covers strictly fewer gates
+    # than the full cone.
+    for _slot, covered, _fn in cone.domains:
+        assert len(covered) < len(cone.slot_sigs)
+
+
+def test_combinational_cycle_diagnosed_and_settled(tmp_path):
+    res = _run_both(_SR_LATCH, cache_dir=str(tmp_path))
+    report = res.design.report
+    assert report["cycles"], "cross-coupled NORs must be diagnosed"
+    assert any("top.q" in members for members in report["cycles"])
+    history = dict(res.trace.finalize().changes)["top.q"]
+    assert history[-1][1] == 0  # reset won
+
+
+def test_nonzero_delay_cell_falls_back(tmp_path):
+    res = _run_both(_SLOW_CELL, cache_dir=str(tmp_path))
+    fallbacks = res.design.fallback_cells
+    assert len(fallbacks) == 1
+    path, reason = fallbacks[0]
+    assert "cell_slow_inv" in path
+    assert "delay" in reason
+
+
+def test_multi_driven_net_raises():
+    with pytest.raises(SimulationError, match="more than one"):
+        simulate(parse_module(_MULTI_DRIVER), "top", backend="levelized",
+                 cache_dir=None)
+
+
+def test_sanitize_rejected():
+    with pytest.raises(SimulationError, match="sanitizer"):
+        simulate(parse_module(_TOGGLE), "top", until_fs=4_000_000,
+                 backend="levelized", sanitize=True)
+
+
+# -- the compile cache ---------------------------------------------------------
+
+
+def _cache_file(source, tmp_path):
+    module = parse_module(source)
+    return tmp_path / f"{cone_cache_key(module, 'top')}.py"
+
+
+def test_cache_cold_then_warm(tmp_path):
+    cold = _run_both(_TOGGLE, until_fs=8_000_000, cache_dir=str(tmp_path))
+    assert cold.stats["cache_misses"] == 1
+    assert cold.stats["cache_hits"] == 0
+    entry = _cache_file(_TOGGLE, tmp_path)
+    assert entry.exists()
+    warm = _run_both(_TOGGLE, until_fs=8_000_000, cache_dir=str(tmp_path))
+    assert warm.stats["cache_hits"] == 1
+    assert warm.stats["cache_misses"] == 0
+    assert warm.stats["cache_errors"] == 0
+
+
+def test_corrupted_cache_entry_recompiles(tmp_path):
+    _run_both(_TOGGLE, until_fs=8_000_000, cache_dir=str(tmp_path))
+    entry = _cache_file(_TOGGLE, tmp_path)
+    entry.write_text("this is not (((valid python")
+    res = _run_both(_TOGGLE, until_fs=8_000_000, cache_dir=str(tmp_path))
+    assert res.stats["cache_errors"] == 1
+    assert res.stats["cache_misses"] == 1
+    # The fresh compile overwrote the corrupted entry.
+    assert "not (((valid" not in entry.read_text()
+
+
+def test_stale_engine_version_recompiles(tmp_path):
+    _run_both(_TOGGLE, until_fs=8_000_000, cache_dir=str(tmp_path))
+    entry = _cache_file(_TOGGLE, tmp_path)
+    stale = entry.read_text().replace(
+        f"ENGINE_VERSION = {ENGINE_VERSION}", "ENGINE_VERSION = 0")
+    entry.write_text(stale)
+    res = _run_both(_TOGGLE, until_fs=8_000_000, cache_dir=str(tmp_path))
+    assert res.stats["cache_errors"] == 1
+    assert res.stats["cache_misses"] == 1
+
+
+def test_analysis_mode_skips_codegen(tmp_path):
+    design = elaborate_levelized(parse_module(_TOGGLE), "top",
+                                 cache_dir=str(tmp_path), analysis=True)
+    assert design.cone is None
+    assert design.report["gates"] == 1
+    assert not list(tmp_path.iterdir())  # nothing written
+
+
+# -- reach accounting and CLI --------------------------------------------------
+
+
+def test_netlist_engine_report_lists_levelized():
+    from repro.designs import netlist_engine_report
+
+    engines, notes = netlist_engine_report("gray", cycles=4)
+    assert engines == ["interp", "blaze", "cycle", "levelized"]
+    assert notes == []
+
+
+def test_cli_levelized_stats_and_cache(tmp_path, capsys):
+    from repro.sim.__main__ import main
+
+    argv = ["--design", "lfsr", "--cycles", "4", "--engine", "levelized",
+            "--stats", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    err = capsys.readouterr().err
+    assert "levelized cache: 0 hits, 1 misses" in err
+    assert main(argv) == 0
+    err = capsys.readouterr().err
+    assert "levelized cache: 1 hits, 0 misses" in err
+
+
+def test_cli_netlist_cross_check_includes_levelized(tmp_path, capsys):
+    from repro.sim.__main__ import main
+
+    rc = main(["--design", "gray", "--cycles", "4", "--netlist",
+               "--cross-check", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "identical across interp, blaze, levelized" in err
+
+
+def test_cli_rejects_levelized_batch_and_sanitize(tmp_path):
+    from repro.sim.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--design", "gray", "--engine", "levelized", "--batch", "2"])
+    with pytest.raises(SystemExit):
+        main(["--design", "gray", "--engine", "levelized", "--sanitize"])
